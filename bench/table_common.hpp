@@ -1,0 +1,81 @@
+// Shared harness for the Table 1 / Table 2 reproductions: runs the full
+// ATPG flow (random TPG -> 3-phase -> fault simulation) on a benchmark
+// suite and prints the paper's columns.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "atpg/engine.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "util/timer.hpp"
+
+namespace xatpg::benchtab {
+
+struct Row {
+  std::string name;
+  std::size_t out_tot = 0, out_cov = 0;
+  std::size_t in_tot = 0, in_cov = 0;
+  std::size_t rnd = 0, three_ph = 0, sim = 0;
+  double cpu_ms = 0;
+};
+
+inline Row run_circuit(const std::string& name, SynthStyle style,
+                       const AtpgOptions& options) {
+  Row row;
+  row.name = name;
+  const SynthResult synth = benchmark_circuit(name, style);
+  Timer timer;
+  AtpgEngine engine(synth.netlist, synth.reset_state, options);
+
+  const auto out_result = engine.run(output_stuck_faults(synth.netlist));
+  row.out_tot = out_result.stats.total_faults;
+  row.out_cov = out_result.stats.covered;
+
+  const auto in_result = engine.run(input_stuck_faults(synth.netlist));
+  row.in_tot = in_result.stats.total_faults;
+  row.in_cov = in_result.stats.covered;
+  row.rnd = in_result.stats.by_random;
+  row.three_ph = in_result.stats.by_three_phase;
+  row.sim = in_result.stats.by_fault_sim;
+  row.cpu_ms = timer.millis();
+  return row;
+}
+
+inline void print_table(const char* title,
+                        const std::vector<Row>& rows) {
+  std::printf("%s\n", title);
+  std::printf(
+      "%-16s | %-13s | %-13s | %-17s | %s\n", "", "output-s", "input-s",
+      "input-s by phase", "");
+  std::printf("%-16s | %5s %7s | %5s %7s | %5s %5s %5s | %9s\n", "example",
+              "tot", "cov", "tot", "cov", "rnd", "3-ph", "sim", "CPU(ms)");
+  std::printf(
+      "-----------------+---------------+---------------+-------------------+-"
+      "---------\n");
+  std::size_t out_tot = 0, out_cov = 0, in_tot = 0, in_cov = 0;
+  double cpu = 0;
+  for (const Row& row : rows) {
+    std::printf("%-16s | %5zu %7zu | %5zu %7zu | %5zu %5zu %5zu | %9.1f\n",
+                row.name.c_str(), row.out_tot, row.out_cov, row.in_tot,
+                row.in_cov, row.rnd, row.three_ph, row.sim, row.cpu_ms);
+    out_tot += row.out_tot;
+    out_cov += row.out_cov;
+    in_tot += row.in_tot;
+    in_cov += row.in_cov;
+    cpu += row.cpu_ms;
+  }
+  std::printf(
+      "-----------------+---------------+---------------+-------------------+-"
+      "---------\n");
+  std::printf("%-16s | %5s %6.2f%% | %5s %6.2f%% | %17s | %9.1f\n", "Total FC",
+              "", 100.0 * static_cast<double>(out_cov) /
+                      static_cast<double>(out_tot),
+              "", 100.0 * static_cast<double>(in_cov) /
+                      static_cast<double>(in_tot),
+              "", cpu);
+  std::printf("\n");
+}
+
+}  // namespace xatpg::benchtab

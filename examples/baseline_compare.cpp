@@ -1,0 +1,45 @@
+// Side-by-side comparison of our CSSG-based flow with the virtual-FF
+// synchronous baseline (§6.1), on one benchmark.
+//
+//   $ ./examples/baseline_compare [benchmark-name]    (default: dff)
+#include <iostream>
+
+#include "atpg/engine.hpp"
+#include "baseline/baseline.hpp"
+#include "benchmarks/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xatpg;
+  const std::string name = argc > 1 ? argv[1] : "dff";
+
+  const SynthResult synth = benchmark_circuit(name, SynthStyle::SpeedIndependent);
+  const auto faults = input_stuck_faults(synth.netlist);
+  std::cout << "benchmark '" << name << "', " << faults.size()
+            << " input stuck-at faults\n\n";
+
+  AtpgOptions options;
+  options.random_budget = 32;
+  AtpgEngine engine(synth.netlist, synth.reset_state, options);
+  const AtpgResult ours = engine.run(faults);
+  std::cout << "CSSG flow (this paper):\n"
+            << "  covered " << ours.stats.covered << "/" << faults.size()
+            << " — every vector pre-validated by construction, no "
+               "post-validation needed\n\n";
+
+  const BaselineResult theirs =
+      run_baseline(synth.netlist, synth.reset_state, faults);
+  std::cout << "virtual-FF baseline [Banerjee et al.]:\n"
+            << "  synchronous ATPG generated tests for " << theirs.generated
+            << " faults\n"
+            << "  unit-delay validation accepted      " << theirs.validated
+            << "\n"
+            << "  accepted but actually racy          " << theirs.optimistic
+            << "  <- the optimism the paper criticises\n";
+  for (const auto& fr : theirs.per_fault) {
+    if (!fr.racy) continue;
+    std::cout << "    e.g. " << fr.fault.describe(synth.netlist)
+              << ": validated sequence contains a non-confluent vector\n";
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Generate a complete synchronous test program for a benchmark and then
+// *be* the tester: replay it cycle by cycle against a simulated device
+// (fault-free, plus one sample faulty device) and report the verdicts.
+//
+//   $ ./examples/tester_export [benchmark-name]    (default: ebergen)
+#include <iostream>
+#include <sstream>
+
+#include "atpg/engine.hpp"
+#include "atpg/fault_sim.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "sim/explicit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xatpg;
+  const std::string name = argc > 1 ? argv[1] : "ebergen";
+
+  const SynthResult synth = benchmark_circuit(name, SynthStyle::SpeedIndependent);
+  const Netlist& circuit = synth.netlist;
+  AtpgOptions options;
+  options.random_budget = 32;
+  AtpgEngine engine(circuit, synth.reset_state, options);
+  const auto faults = input_stuck_faults(circuit);
+  const AtpgResult result = engine.run(faults);
+
+  std::ostringstream program;
+  write_test_program(program, circuit, engine, result.sequences);
+  std::cout << program.str() << "\n";
+
+  // Replay against the fault-free device: every strobe must match.
+  std::size_t cycles = 0;
+  bool golden_ok = true;
+  for (const auto& seq : result.sequences) {
+    const auto path = engine.follow(seq);
+    std::vector<bool> device = synth.reset_state;
+    for (std::size_t t = 0; t < seq.vectors.size(); ++t) {
+      const auto settled = explore_settling(circuit, device, seq.vectors[t],
+                                            options.k);
+      if (!settled.confluent()) {
+        golden_ok = false;
+        break;
+      }
+      device = *settled.stable_states.begin();
+      ++cycles;
+      for (const SignalId po : circuit.outputs())
+        if (device[po] != engine.graph().states[(*path)[t + 1]][po])
+          golden_ok = false;
+    }
+  }
+  std::cout << "# golden-device replay: " << cycles << " cycles, "
+            << (golden_ok ? "all strobes match" : "MISMATCH (bug!)") << "\n";
+
+  // Replay against one faulty device (first covered fault).
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.covered_by == CoveredBy::None) continue;
+    const auto& seq = result.sequences[outcome.sequence_index];
+    const auto path = engine.follow(seq);
+    FaultSimulator sim(circuit, outcome.fault, synth.reset_state);
+    DetectStatus status = sim.status();
+    std::size_t at = 0;
+    for (std::size_t t = 0;
+         t < seq.vectors.size() && status == DetectStatus::Undetermined; ++t) {
+      status = sim.step(seq.vectors[t], engine.graph().states[(*path)[t + 1]]);
+      at = t + 1;
+    }
+    std::cout << "# faulty-device replay (" << outcome.fault.describe(circuit)
+              << "): flagged at cycle " << at << " of sequence "
+              << outcome.sequence_index << "\n";
+    break;
+  }
+  return 0;
+}

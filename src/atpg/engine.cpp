@@ -1,0 +1,307 @@
+#include "atpg/engine.hpp"
+
+#include <deque>
+#include <ostream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace xatpg {
+
+AtpgEngine::AtpgEngine(const Netlist& netlist,
+                       const std::vector<bool>& reset_state,
+                       const AtpgOptions& options)
+    : netlist_(&netlist), reset_state_(reset_state), options_(options) {
+  CssgOptions cssg_options;
+  cssg_options.k = options.k;
+  cssg_options.order = options.order;
+  cssg_ = std::make_unique<Cssg>(
+      netlist, std::vector<std::vector<bool>>{reset_state}, cssg_options);
+  graph_ = cssg_->extract_explicit();
+  const auto reset_id = graph_.find(reset_state);
+  XATPG_CHECK(reset_id.has_value());
+  reset_id_ = *reset_id;
+}
+
+std::optional<std::vector<std::uint32_t>> AtpgEngine::follow(
+    const TestSequence& seq) const {
+  std::vector<std::uint32_t> path{reset_id_};
+  for (const auto& vec : seq.vectors) {
+    bool advanced = false;
+    for (const auto& edge : graph_.edges[path.back()]) {
+      if (edge.pattern == vec) {
+        path.push_back(edge.to);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return std::nullopt;
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// 3-phase ATPG
+// ---------------------------------------------------------------------------
+
+AtpgEngine::DiffResult AtpgEngine::differentiate(const Fault& fault,
+                                                 const TestSequence& prefix) {
+  DiffResult result;
+
+  // Replay the (justification) prefix on the faulty circuit.
+  FaultSimulator sim(*netlist_, fault, reset_state_, options_.sim);
+  if (sim.status() == DetectStatus::GaveUp) return result;
+  const auto path = follow(prefix);
+  if (!path) return result;
+  TestSequence applied;
+  for (std::size_t i = 0; i < prefix.vectors.size(); ++i) {
+    applied.vectors.push_back(prefix.vectors[i]);
+    const DetectStatus status =
+        sim.step(prefix.vectors[i], graph_.states[(*path)[i + 1]]);
+    if (status == DetectStatus::Detected) {
+      // Corruption surfaced during justification — in all terminal states,
+      // so the shortened sequence is already a test (paper, Fig. 3a).
+      result.found = true;
+      result.sequence = applied;
+      return result;
+    }
+    if (status == DetectStatus::GaveUp) return result;
+  }
+
+  // Phase 3: breadth-first search over valid vectors for the shortest
+  // extension that makes every faulty execution observable.
+  struct Node {
+    std::uint32_t good_id;
+    FaultSimulator::Snapshot sim_state;
+    std::vector<std::vector<bool>> suffix;
+  };
+  std::deque<Node> queue;
+  std::unordered_set<std::string> visited;
+  const auto key_of = [](std::uint32_t good_id, const std::string& cand_key) {
+    return std::to_string(good_id) + "#" + cand_key;
+  };
+  queue.push_back(Node{path->back(), sim.snapshot(), {}});
+  visited.insert(key_of(path->back(), sim.candidates_key()));
+
+  std::size_t expanded = 0;
+  Timer budget_timer;
+  while (!queue.empty()) {
+    const Node node = std::move(queue.front());
+    queue.pop_front();
+    if (node.suffix.size() >= options_.diff_depth) continue;
+    if (budget_timer.seconds() > options_.per_fault_seconds) return result;
+    for (const auto& edge : graph_.edges[node.good_id]) {
+      if (++expanded > options_.diff_node_cap) return result;
+      sim.restore(node.sim_state);
+      const DetectStatus status =
+          sim.step(edge.pattern, graph_.states[edge.to]);
+      if (status == DetectStatus::GaveUp) continue;
+      auto suffix = node.suffix;
+      suffix.push_back(edge.pattern);
+      if (status == DetectStatus::Detected) {
+        result.found = true;
+        result.sequence = applied;
+        for (auto& vec : suffix) result.sequence.vectors.push_back(vec);
+        return result;
+      }
+      const std::string key = key_of(edge.to, sim.candidates_key());
+      if (visited.insert(key).second)
+        queue.push_back(Node{edge.to, sim.snapshot(), std::move(suffix)});
+    }
+  }
+  return result;
+}
+
+bool AtpgEngine::provably_redundant(const Fault& fault) {
+  SymbolicEncoding& enc = cssg_->encoding();
+  const SignalId src = fault.site == Fault::Site::GatePin
+                           ? netlist_->gate(fault.gate).fanins[fault.pin]
+                           : fault.gate;
+  const Bdd lit = enc.cur(src);
+  const Bdd differs = fault.stuck_value ? !lit : lit;
+  // The line never differs from the stuck value in any test-mode-reachable
+  // state => the faulty circuit is trajectory-equivalent to the good one
+  // (inductively: identical states produce identical successor sets).
+  return (cssg_->test_mode_reachable() & differs).is_false();
+}
+
+std::optional<TestSequence> AtpgEngine::generate_test(const Fault& fault) {
+  // Phase 1 — fault activation (§5.1): stable, valid-vector-reachable
+  // states in which the faulted line carries the opposite of its stuck
+  // value.
+  TestSequence prefix;
+  bool have_prefix = false;
+  if (options_.use_activation) {
+    SymbolicEncoding& enc = cssg_->encoding();
+    const SignalId src = fault.site == Fault::Site::GatePin
+                             ? netlist_->gate(fault.gate).fanins[fault.pin]
+                             : fault.gate;
+    const Bdd lit = enc.cur(src);
+    const Bdd excited = fault.stuck_value ? !lit : lit;
+    const Bdd activation = excited & cssg_->cssg_reachable();
+    if (!activation.is_false()) {
+      // Phase 2 — state justification via the onion rings (§5.2).
+      const auto just = cssg_->justify(activation);
+      if (just) {
+        prefix.vectors = just->vectors;
+        have_prefix = true;
+      }
+    }
+    // Faults with no stable excitation state go directly to phase 3
+    // (§5.1's "left directly to the last phase").
+  }
+
+  if (have_prefix) {
+    const DiffResult with_prefix = differentiate(fault, prefix);
+    if (with_prefix.found) return with_prefix.sequence;
+  }
+  // Fall back to a full differentiation search from reset: complete within
+  // the caps, subsumes any choice of activation state.
+  const DiffResult from_reset = differentiate(fault, TestSequence{});
+  if (from_reset.found) return from_reset.sequence;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Full flow
+// ---------------------------------------------------------------------------
+
+AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
+  Timer total_timer;
+  AtpgResult result;
+  result.outcomes.reserve(faults.size());
+  for (const Fault& f : faults) result.outcomes.push_back(FaultOutcome{f});
+  result.stats.total_faults = faults.size();
+
+  // Long-lived exact simulators, one per fault.
+  std::vector<std::unique_ptr<FaultSimulator>> sims;
+  sims.reserve(faults.size());
+  for (const Fault& f : faults)
+    sims.push_back(std::make_unique<FaultSimulator>(*netlist_, f,
+                                                    reset_state_, options_.sim));
+
+  // --- Random TPG (§5.4) ----------------------------------------------------
+  Timer random_timer;
+  Rng rng(options_.seed);
+  std::size_t budget = options_.random_budget;
+  while (budget > 0) {
+    // A fresh walk models a reset pulse followed by random valid vectors.
+    // A circuit whose reset state has no valid vector at all (every pattern
+    // races — it happens on heavily hazardous bounded-delay circuits)
+    // cannot be random-tested.
+    if (graph_.edges[reset_id_].empty()) break;
+    for (auto& sim : sims) sim->restart();
+    TestSequence walk;
+    std::uint32_t good_id = reset_id_;
+    bool detected_any = false;
+    for (std::size_t step = 0; step < options_.random_walk_len && budget > 0;
+         ++step) {
+      const auto& edges = graph_.edges[good_id];
+      if (edges.empty()) break;
+      const auto& edge = edges[rng.below(edges.size())];
+      --budget;
+      walk.vectors.push_back(edge.pattern);
+      const auto& good_state = graph_.states[edge.to];
+      for (std::size_t i = 0; i < sims.size(); ++i) {
+        if (result.outcomes[i].covered_by != CoveredBy::None) continue;
+        if (sims[i]->status() != DetectStatus::Undetermined) continue;
+        if (sims[i]->step(edge.pattern, good_state) == DetectStatus::Detected) {
+          result.outcomes[i].covered_by = CoveredBy::Random;
+          result.outcomes[i].sequence_index =
+              static_cast<int>(result.sequences.size());
+          ++result.stats.by_random;
+          detected_any = true;
+        }
+      }
+      good_id = edge.to;
+    }
+    if (detected_any) result.sequences.push_back(walk);
+    // Stop early once everything is covered.
+    if (result.stats.by_random == faults.size()) break;
+  }
+  result.stats.random_seconds = random_timer.seconds();
+
+  // --- a-priori undetectable-fault classification (optional, §6) ------------
+  if (options_.classify_undetectable) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (result.outcomes[i].covered_by != CoveredBy::None) continue;
+      if (provably_redundant(faults[i])) {
+        result.outcomes[i].proven_redundant = true;
+        ++result.stats.proven_redundant;
+      }
+    }
+  }
+
+  // --- 3-phase ATPG + fault simulation (§5.1–§5.4) ---------------------------
+  Timer three_phase_timer;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (result.outcomes[i].covered_by != CoveredBy::None) continue;
+    if (result.outcomes[i].proven_redundant) continue;
+    const auto test = generate_test(faults[i]);
+    if (!test) continue;  // undetected (redundant or beyond caps)
+    result.outcomes[i].covered_by = CoveredBy::ThreePhase;
+    result.outcomes[i].sequence_index =
+        static_cast<int>(result.sequences.size());
+    ++result.stats.by_three_phase;
+
+    // Fault-simulate the new sequence on every remaining fault.
+    const auto path = follow(*test);
+    XATPG_CHECK(path.has_value());
+    for (std::size_t j = 0; j < faults.size(); ++j) {
+      if (j == i || result.outcomes[j].covered_by != CoveredBy::None) continue;
+      sims[j]->restart();
+      if (sims[j]->status() != DetectStatus::Undetermined) continue;
+      for (std::size_t t = 0; t < test->vectors.size(); ++t) {
+        const DetectStatus status =
+            sims[j]->step(test->vectors[t], graph_.states[(*path)[t + 1]]);
+        if (status == DetectStatus::Detected) {
+          result.outcomes[j].covered_by = CoveredBy::FaultSim;
+          result.outcomes[j].sequence_index =
+              static_cast<int>(result.sequences.size());
+          ++result.stats.by_fault_sim;
+          break;
+        }
+        if (status != DetectStatus::Undetermined) break;
+      }
+    }
+    result.sequences.push_back(*test);
+  }
+  result.stats.three_phase_seconds = three_phase_timer.seconds();
+
+  result.stats.covered = result.stats.by_random + result.stats.by_three_phase +
+                         result.stats.by_fault_sim;
+  result.stats.undetected = result.stats.total_faults - result.stats.covered;
+  result.stats.seconds = total_timer.seconds();
+  return result;
+}
+
+void write_test_program(std::ostream& out, const Netlist& netlist,
+                        const AtpgEngine& engine,
+                        const std::vector<TestSequence>& sequences) {
+  out << "# xatpg synchronous test program for '" << netlist.name() << "'\n";
+  out << ".inputs";
+  for (const SignalId in : netlist.inputs())
+    out << " " << netlist.signal_name(in);
+  out << "\n.outputs";
+  for (const SignalId po : netlist.outputs())
+    out << " " << netlist.signal_name(po);
+  out << "\n";
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    const auto path = engine.follow(sequences[s]);
+    XATPG_CHECK_MSG(path.has_value(), "sequence is not CSSG-valid");
+    out << ".sequence " << s << "  # apply from reset\n";
+    for (std::size_t t = 0; t < sequences[s].vectors.size(); ++t) {
+      for (const bool b : sequences[s].vectors[t]) out << (b ? '1' : '0');
+      out << " / ";
+      const auto& state = engine.graph().states[(*path)[t + 1]];
+      for (const SignalId po : netlist.outputs()) out << (state[po] ? '1' : '0');
+      out << "\n";
+    }
+  }
+  out << ".end\n";
+}
+
+}  // namespace xatpg

@@ -1,0 +1,140 @@
+// The ATPG engine (§5): random TPG on the CSSG, 3-phase symbolic ATPG
+// (fault activation / state justification / state differentiation), and
+// cross fault simulation of every generated sequence — with per-phase
+// statistics matching the paper's table columns (rnd / 3-ph / sim).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "sgraph/cssg.hpp"
+
+namespace xatpg {
+
+struct AtpgOptions {
+  std::size_t k = 24;                    ///< settle bound (TCR_k)
+  VarOrder order = VarOrder::Interleaved;
+  std::size_t random_budget = 512;       ///< vectors spent in random TPG
+  std::size_t random_walk_len = 48;      ///< restart interval (reset pulses)
+  std::uint64_t seed = 1;
+  std::size_t diff_depth = 16;           ///< differentiation BFS depth
+  std::size_t diff_node_cap = 20000;     ///< differentiation BFS nodes
+  /// Wall-clock budget per fault for the 3-phase search (the classic ATPG
+  /// backtrack limit, in time units): exceeded => fault left undetected.
+  double per_fault_seconds = 2.0;
+  FaultSimOptions sim;
+  /// Phase 1+2 enabled (ablation: false forces pure differentiation BFS
+  /// from reset for every fault).
+  bool use_activation = true;
+  /// A-priori undetectable-fault classification (§6's proposed
+  /// improvement): before searching, prove a fault redundant when its
+  /// faulted line never carries the opposite of the stuck value in *any*
+  /// state a legal test session can pass through.  Sound; skips the
+  /// 3-phase search for proven faults.
+  bool classify_undetectable = false;
+};
+
+/// One synchronous test: input vectors applied from reset, one per test
+/// cycle.
+struct TestSequence {
+  std::vector<std::vector<bool>> vectors;
+};
+
+enum class CoveredBy : std::uint8_t {
+  None,        ///< undetected (possibly redundant)
+  Random,      ///< random TPG (the paper's "rnd" column)
+  ThreePhase,  ///< 3-phase symbolic ATPG ("3-ph")
+  FaultSim,    ///< detected while simulating another fault's test ("sim")
+};
+
+struct FaultOutcome {
+  Fault fault;
+  CoveredBy covered_by = CoveredBy::None;
+  int sequence_index = -1;  ///< index into AtpgResult::sequences
+  /// Proven undetectable by the a-priori classifier (covered_by == None).
+  bool proven_redundant = false;
+};
+
+struct AtpgStats {
+  std::size_t total_faults = 0;
+  std::size_t covered = 0;
+  std::size_t by_random = 0;
+  std::size_t by_three_phase = 0;
+  std::size_t by_fault_sim = 0;
+  std::size_t undetected = 0;
+  std::size_t proven_redundant = 0;
+  double seconds = 0;
+  double random_seconds = 0;
+  double three_phase_seconds = 0;
+
+  double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(covered) / static_cast<double>(total_faults);
+  }
+};
+
+struct AtpgResult {
+  std::vector<FaultOutcome> outcomes;
+  std::vector<TestSequence> sequences;
+  AtpgStats stats;
+};
+
+/// ATPG driver bound to one circuit + reset state.  The CSSG is computed
+/// once and shared across fault universes (run() can be called repeatedly).
+class AtpgEngine {
+ public:
+  AtpgEngine(const Netlist& netlist, const std::vector<bool>& reset_state,
+             const AtpgOptions& options = {});
+
+  const Cssg& cssg() const { return *cssg_; }
+  const ExplicitCssg& graph() const { return graph_; }
+  const AtpgOptions& options() const { return options_; }
+
+  /// Run the full flow (random TPG -> 3-phase -> fault simulation) on the
+  /// given fault universe.
+  AtpgResult run(const std::vector<Fault>& faults);
+
+  /// 3-phase ATPG for a single fault; returns the test sequence (from
+  /// reset) or nullopt if the search space is exhausted (fault redundant or
+  /// beyond the caps).
+  std::optional<TestSequence> generate_test(const Fault& fault);
+
+  /// True if the a-priori classifier proves the fault undetectable: the
+  /// faulted line equals the stuck value in every state any legal test can
+  /// drive the circuit through (stable or transient), so the fault can
+  /// never change any gate's behaviour during test.
+  bool provably_redundant(const Fault& fault);
+
+  /// Good-circuit states visited by a sequence (from reset); nullopt if a
+  /// vector is not a valid CSSG edge.
+  std::optional<std::vector<std::uint32_t>> follow(
+      const TestSequence& seq) const;
+
+ private:
+  struct DiffResult {
+    bool found = false;
+    TestSequence sequence;
+  };
+  DiffResult differentiate(const Fault& fault, const TestSequence& prefix);
+
+  const Netlist* netlist_;
+  std::vector<bool> reset_state_;
+  AtpgOptions options_;
+  std::unique_ptr<Cssg> cssg_;
+  ExplicitCssg graph_;
+  std::uint32_t reset_id_ = 0;
+};
+
+/// Tester-facing export: vectors and expected primary-output responses per
+/// cycle, in a simple line format a synchronous tester can replay.
+void write_test_program(std::ostream& out, const Netlist& netlist,
+                        const AtpgEngine& engine,
+                        const std::vector<TestSequence>& sequences);
+
+}  // namespace xatpg

@@ -1,0 +1,60 @@
+// Stuck-at fault universe (§1, §5): the paper's fault model is the *input*
+// stuck-at model — every gate input pin stuck at 0/1 — which subsumes the
+// output stuck-at model (every signal stuck at 0/1) because each signal
+// drives some pin; the tables report both universes separately and so do we.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/parallel.hpp"
+
+namespace xatpg {
+
+struct Fault {
+  enum class Site : std::uint8_t {
+    GatePin,       ///< connection into fanin position `pin` of gate `gate`
+    SignalOutput,  ///< output of gate `gate` (includes primary inputs)
+  };
+  Site site = Site::GatePin;
+  SignalId gate = kNoSignal;
+  std::size_t pin = 0;
+  bool stuck_value = false;
+
+  bool operator==(const Fault&) const = default;
+
+  /// "pin c.1 s-a-0" / "out y s-a-1" style description.
+  std::string describe(const Netlist& netlist) const;
+
+  /// Injection spec for the 64-lane parallel ternary simulator.
+  LaneInjection to_injection(std::uint64_t lanes) const;
+};
+
+/// All input (gate-pin) stuck-at faults: 2 per pin.
+std::vector<Fault> input_stuck_faults(const Netlist& netlist);
+
+/// All output (signal) stuck-at faults: 2 per signal.
+std::vector<Fault> output_stuck_faults(const Netlist& netlist);
+
+/// Materialize the faulty circuit: output faults replace the gate with a
+/// constant; pin faults redirect the pin to a fresh constant signal appended
+/// at the end (original signal ids are preserved, so states of the good and
+/// faulty circuit are comparable position-wise).
+Netlist apply_fault(const Netlist& netlist, const Fault& fault);
+
+/// Initial state of apply_fault(netlist, fault) corresponding to a state of
+/// the good circuit (appends the constant's value if one was added).  The
+/// returned state is NOT necessarily stable — the fault may excite gates.
+std::vector<bool> fault_initial_state(const Netlist& netlist,
+                                      const Fault& fault,
+                                      const std::vector<bool>& good_state);
+
+/// Translate an input vector indexed by `good`'s inputs into one indexed by
+/// `faulty`'s inputs (a stuck primary input disappears from the faulty
+/// circuit's input list; all surviving inputs are matched by name).
+std::vector<bool> map_input_vector(const Netlist& good, const Netlist& faulty,
+                                   const std::vector<bool>& good_vector);
+
+}  // namespace xatpg

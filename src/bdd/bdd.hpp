@@ -1,0 +1,246 @@
+// From-scratch ROBDD package used by all symbolic machinery in xatpg
+// (reachability, TCR_k composition, CSSG pruning, 3-phase ATPG).
+//
+// Design notes:
+//  * Reduced, ordered BDDs without complement edges (simplicity over the
+//    ~2x sharing win; circuits in this domain are small controllers).
+//  * Nodes live in a grow-only arena with a free list; external references
+//    are RAII `Bdd` handles registered in an intrusive list, enabling
+//    mark-and-sweep garbage collection between top-level operations.
+//  * The computed cache is a direct-mapped hash cache keyed by
+//    (operation, operands); permutations get a per-permutation id so
+//    distinct variable maps never alias cache entries.
+//  * Variable order is the creation order (var == level).  The symbolic
+//    encoding layer (src/sgraph) chooses the interleaving; the ordering
+//    ablation bench exercises different static assignments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xatpg {
+
+class BddManager;
+
+/// RAII reference to a BDD node.  Copyable and movable; the referenced node
+/// is protected from garbage collection for the lifetime of the handle.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  /// True if this handle refers to a node (even the constant nodes).
+  bool valid() const { return mgr_ != nullptr; }
+  BddManager* manager() const { return mgr_; }
+  std::uint32_t index() const { return idx_; }
+
+  bool is_false() const;
+  bool is_true() const;
+  bool is_const() const { return is_false() || is_true(); }
+
+  /// Top variable; precondition: !is_const().
+  std::uint32_t top_var() const;
+  /// Low (var=0) cofactor child; precondition: !is_const().
+  Bdd low() const;
+  /// High (var=1) cofactor child; precondition: !is_const().
+  Bdd high() const;
+
+  // Boolean combinators (delegate to the manager).
+  Bdd operator&(const Bdd& rhs) const;
+  Bdd operator|(const Bdd& rhs) const;
+  Bdd operator^(const Bdd& rhs) const;
+  Bdd operator!() const;
+  Bdd& operator&=(const Bdd& rhs);
+  Bdd& operator|=(const Bdd& rhs);
+  Bdd& operator^=(const Bdd& rhs);
+
+  /// Structural equality (canonical: equal iff same function).
+  bool operator==(const Bdd& rhs) const {
+    return mgr_ == rhs.mgr_ && idx_ == rhs.idx_;
+  }
+  bool operator!=(const Bdd& rhs) const { return !(*this == rhs); }
+
+  /// f <= g in the implication order (f -> g is a tautology).
+  bool implies(const Bdd& rhs) const;
+
+  /// Number of distinct nodes in this BDD (including terminals).
+  std::size_t node_count() const;
+
+ private:
+  friend class BddManager;
+  Bdd(BddManager* mgr, std::uint32_t idx);
+  void attach();
+  void detach();
+
+  BddManager* mgr_ = nullptr;
+  std::uint32_t idx_ = 0;
+  // Intrusive registry linkage for GC root enumeration.
+  Bdd* reg_prev_ = nullptr;
+  Bdd* reg_next_ = nullptr;
+};
+
+/// Assignment value used by minterm extraction: 0, 1, or DontCare.
+enum class Tri : signed char { Zero = 0, One = 1, DontCare = -1 };
+
+/// Owner of the node arena, unique table, and computed cache.
+class BddManager {
+ public:
+  /// Create a manager with `num_vars` pre-allocated variables.
+  explicit BddManager(std::uint32_t num_vars = 0);
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  /// Append a fresh variable at the bottom of the order; returns its index.
+  std::uint32_t new_var();
+  std::uint32_t num_vars() const { return num_vars_; }
+
+  Bdd bdd_false() { return Bdd(this, 0); }
+  Bdd bdd_true() { return Bdd(this, 1); }
+  /// Literal x_v (positive) — precondition: v < num_vars().
+  Bdd var(std::uint32_t v);
+  /// Literal !x_v (negative).
+  Bdd nvar(std::uint32_t v);
+
+  /// if-then-else: f ? g : h.  The workhorse all binary ops reduce to.
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  Bdd apply_and(const Bdd& f, const Bdd& g);
+  Bdd apply_or(const Bdd& f, const Bdd& g);
+  Bdd apply_xor(const Bdd& f, const Bdd& g);
+  Bdd apply_not(const Bdd& f);
+
+  /// Existential quantification of all variables in `cube` (a positive
+  /// product of literals).
+  Bdd exists(const Bdd& f, const Bdd& cube);
+  /// Universal quantification.
+  Bdd forall(const Bdd& f, const Bdd& cube);
+  /// Fused relational product:  ∃ cube . f ∧ g  — the inner loop of every
+  /// image computation in src/sgraph.
+  Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+
+  /// Rename variables: var v in f becomes var_map[v].  var_map must be a
+  /// permutation vector of size num_vars().
+  Bdd permute(const Bdd& f, const std::vector<std::uint32_t>& var_map);
+
+  /// Substitute g for variable v in f (Shannon composition).
+  Bdd compose(const Bdd& f, std::uint32_t v, const Bdd& g);
+
+  /// Cofactor of f with respect to literal (v = phase).
+  Bdd cofactor(const Bdd& f, std::uint32_t v, bool phase);
+
+  /// Positive cube of all variables occurring in f.
+  Bdd support_cube(const Bdd& f);
+  /// Sorted list of variables occurring in f.
+  std::vector<std::uint32_t> support_vars(const Bdd& f);
+
+  /// Number of satisfying assignments of f over `nvars` variables.
+  double sat_count(const Bdd& f, std::uint32_t nvars);
+
+  /// Extract one satisfying assignment over the given variables; entries for
+  /// variables f does not constrain are DontCare.  Precondition: !f.is_false().
+  std::vector<Tri> pick_minterm(const Bdd& f,
+                                const std::vector<std::uint32_t>& vars);
+
+  /// Evaluate f under a complete assignment (indexed by variable).
+  bool eval(const Bdd& f, const std::vector<bool>& assignment);
+
+  /// Enumerate every complete assignment over `vars` (which must be sorted
+  /// ascending and cover f's support) that satisfies f, expanding
+  /// don't-cares.  Throws CheckError if more than `limit` assignments exist.
+  std::vector<std::vector<bool>> all_minterms(
+      const Bdd& f, const std::vector<std::uint32_t>& vars,
+      std::size_t limit = 1u << 20);
+
+  /// Build the positive cube of the listed variables.
+  Bdd make_cube(const std::vector<std::uint32_t>& vars);
+
+  /// Build the minterm ∧ (x_v == value_v) for parallel vectors vars/values.
+  Bdd make_minterm(const std::vector<std::uint32_t>& vars,
+                   const std::vector<bool>& values);
+
+  /// Nodes currently allocated (live + garbage not yet collected).
+  std::size_t allocated_nodes() const { return nodes_.size() - free_count_; }
+  /// Force a mark-and-sweep collection now; returns nodes freed.
+  std::size_t collect_garbage();
+  /// Collections performed so far (statistic for the ordering ablation).
+  std::size_t gc_count() const { return gc_count_; }
+
+  /// Peak allocated node count observed (statistic).
+  std::size_t peak_nodes() const { return peak_nodes_; }
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::uint32_t var;   // variable index; kVarTerminal for constants
+    std::uint32_t lo;    // low child
+    std::uint32_t hi;    // high child
+    std::uint32_t next;  // unique-table chain
+  };
+  static constexpr std::uint32_t kVarTerminal = 0xffffffffu;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  std::uint32_t make_node(std::uint32_t var, std::uint32_t lo,
+                          std::uint32_t hi);
+  std::uint32_t unique_lookup(std::uint32_t var, std::uint32_t lo,
+                              std::uint32_t hi);
+  void grow_table();
+  void maybe_gc();
+
+  // Recursive cores (raw indices; safe because GC only runs at op entry).
+  std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  std::uint32_t not_rec(std::uint32_t f);
+  std::uint32_t quant_rec(std::uint32_t f, std::uint32_t cube, bool universal);
+  std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t cube);
+  std::uint32_t permute_rec(std::uint32_t f, std::uint32_t perm_id,
+                            const std::vector<std::uint32_t>& var_map);
+  std::uint32_t compose_rec(std::uint32_t f, std::uint32_t v, std::uint32_t g);
+  std::uint32_t cofactor_rec(std::uint32_t f, std::uint32_t v, bool phase);
+
+  void mark(std::uint32_t idx, std::vector<bool>& marked) const;
+
+  // --- computed cache -----------------------------------------------------
+  enum class Op : std::uint64_t {
+    Ite = 1, Not, Exists, Forall, AndExists, Permute, Compose0, Cofactor,
+  };
+  struct CacheEntry {
+    std::uint64_t key_hi = 0;
+    std::uint64_t key_lo = 0;
+    std::uint32_t result = kNil;
+    bool valid = false;
+  };
+  std::uint32_t cache_lookup(Op op, std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c) const;
+  void cache_insert(Op op, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    std::uint32_t result);
+  void cache_clear();
+
+  // --- data ----------------------------------------------------------------
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> buckets_;  // unique-table heads
+  std::uint32_t free_head_ = kNil;      // free list through Node::next
+  std::size_t free_count_ = 0;
+  std::uint32_t num_vars_ = 0;
+  std::vector<std::uint32_t> var_nodes_;  // cached single-literal nodes
+
+  std::vector<CacheEntry> cache_;
+  std::size_t cache_mask_ = 0;
+
+  Bdd* registry_head_ = nullptr;  // GC roots: live external handles
+  std::size_t gc_threshold_ = 1u << 18;
+  std::size_t gc_count_ = 0;
+  std::size_t peak_nodes_ = 0;
+  std::uint32_t next_perm_id_ = 0;
+  std::vector<std::vector<std::uint32_t>> registered_perms_;
+  std::uint32_t register_perm(const std::vector<std::uint32_t>& var_map);
+};
+
+}  // namespace xatpg

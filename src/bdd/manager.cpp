@@ -1,0 +1,312 @@
+// BddManager core: node arena, unique table, handle registry, garbage
+// collection, and the computed cache.  The recursive operation cores live in
+// ops.cpp.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xatpg {
+
+namespace {
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix(a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
+             c * 0x94d049bb133111ebULL);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddManager* mgr, std::uint32_t idx) : mgr_(mgr), idx_(idx) {
+  attach();
+}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), idx_(other.idx_) { attach(); }
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
+  attach();
+  other.detach();
+  other.mgr_ = nullptr;
+  other.idx_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  detach();
+  mgr_ = other.mgr_;
+  idx_ = other.idx_;
+  attach();
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  detach();
+  mgr_ = other.mgr_;
+  idx_ = other.idx_;
+  attach();
+  other.detach();
+  other.mgr_ = nullptr;
+  other.idx_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() { detach(); }
+
+void Bdd::attach() {
+  if (!mgr_) return;
+  reg_prev_ = nullptr;
+  reg_next_ = mgr_->registry_head_;
+  if (reg_next_) reg_next_->reg_prev_ = this;
+  mgr_->registry_head_ = this;
+}
+
+void Bdd::detach() {
+  if (!mgr_) return;
+  if (reg_prev_) {
+    reg_prev_->reg_next_ = reg_next_;
+  } else {
+    mgr_->registry_head_ = reg_next_;
+  }
+  if (reg_next_) reg_next_->reg_prev_ = reg_prev_;
+  reg_prev_ = reg_next_ = nullptr;
+}
+
+bool Bdd::is_false() const { return mgr_ != nullptr && idx_ == 0; }
+bool Bdd::is_true() const { return mgr_ != nullptr && idx_ == 1; }
+
+std::uint32_t Bdd::top_var() const {
+  XATPG_CHECK(valid() && !is_const());
+  return mgr_->nodes_[idx_].var;
+}
+
+Bdd Bdd::low() const {
+  XATPG_CHECK(valid() && !is_const());
+  return Bdd(mgr_, mgr_->nodes_[idx_].lo);
+}
+
+Bdd Bdd::high() const {
+  XATPG_CHECK(valid() && !is_const());
+  return Bdd(mgr_, mgr_->nodes_[idx_].hi);
+}
+
+Bdd Bdd::operator&(const Bdd& rhs) const { return mgr_->apply_and(*this, rhs); }
+Bdd Bdd::operator|(const Bdd& rhs) const { return mgr_->apply_or(*this, rhs); }
+Bdd Bdd::operator^(const Bdd& rhs) const { return mgr_->apply_xor(*this, rhs); }
+Bdd Bdd::operator!() const { return mgr_->apply_not(*this); }
+Bdd& Bdd::operator&=(const Bdd& rhs) { return *this = *this & rhs; }
+Bdd& Bdd::operator|=(const Bdd& rhs) { return *this = *this | rhs; }
+Bdd& Bdd::operator^=(const Bdd& rhs) { return *this = *this ^ rhs; }
+
+bool Bdd::implies(const Bdd& rhs) const {
+  // f -> g  ===  f & !g == false
+  return (*this & !rhs).is_false();
+}
+
+std::size_t Bdd::node_count() const {
+  if (!valid()) return 0;
+  std::vector<std::uint32_t> stack{idx_};
+  std::vector<bool> seen(mgr_->nodes_.size(), false);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    ++count;
+    if (mgr_->nodes_[n].var != BddManager::kVarTerminal) {
+      stack.push_back(mgr_->nodes_[n].lo);
+      stack.push_back(mgr_->nodes_[n].hi);
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// BddManager
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(std::uint32_t num_vars) {
+  nodes_.reserve(1u << 12);
+  // Terminal nodes: index 0 = false, index 1 = true.
+  nodes_.push_back({kVarTerminal, 0, 0, kNil});
+  nodes_.push_back({kVarTerminal, 1, 1, kNil});
+  buckets_.assign(1u << 10, kNil);
+  cache_.assign(1u << 16, CacheEntry{});
+  cache_mask_ = cache_.size() - 1;
+  for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
+}
+
+BddManager::~BddManager() {
+  // Orphan any handles that outlive the manager (programming error, but do
+  // not crash in their destructors).
+  for (Bdd* h = registry_head_; h != nullptr;) {
+    Bdd* next = h->reg_next_;
+    h->mgr_ = nullptr;
+    h->reg_prev_ = h->reg_next_ = nullptr;
+    h = next;
+  }
+}
+
+std::uint32_t BddManager::new_var() {
+  const std::uint32_t v = num_vars_++;
+  var_nodes_.push_back(kNil);  // created lazily in var()
+  return v;
+}
+
+Bdd BddManager::var(std::uint32_t v) {
+  XATPG_CHECK_MSG(v < num_vars_, "variable " << v << " not allocated");
+  if (var_nodes_[v] == kNil) var_nodes_[v] = make_node(v, 0, 1);
+  return Bdd(this, var_nodes_[v]);
+}
+
+Bdd BddManager::nvar(std::uint32_t v) {
+  XATPG_CHECK_MSG(v < num_vars_, "variable " << v << " not allocated");
+  return Bdd(this, make_node(v, 1, 0));
+}
+
+std::uint32_t BddManager::make_node(std::uint32_t var, std::uint32_t lo,
+                                    std::uint32_t hi) {
+  if (lo == hi) return lo;  // reduction rule
+  return unique_lookup(var, lo, hi);
+}
+
+std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
+                                        std::uint32_t hi) {
+  const std::uint64_t h = hash3(var, lo, hi);
+  std::uint32_t bucket = static_cast<std::uint32_t>(h & (buckets_.size() - 1));
+  for (std::uint32_t n = buckets_[bucket]; n != kNil; n = nodes_[n].next) {
+    const Node& node = nodes_[n];
+    if (node.var == var && node.lo == lo && node.hi == hi) return n;
+  }
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = nodes_[idx].next;
+    --free_count_;
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back({});
+  }
+  nodes_[idx] = {var, lo, hi, buckets_[bucket]};
+  buckets_[bucket] = idx;
+  peak_nodes_ = std::max(peak_nodes_, allocated_nodes());
+  if (allocated_nodes() > 2 * buckets_.size()) grow_table();
+  return idx;
+}
+
+void BddManager::grow_table() {
+  buckets_.assign(buckets_.size() * 2, kNil);
+  // Re-chain every live node.  Free-list nodes have var == kVarTerminal and
+  // are identified by walking the free list first.
+  std::vector<bool> is_free(nodes_.size(), false);
+  for (std::uint32_t n = free_head_; n != kNil; n = nodes_[n].next)
+    is_free[n] = true;
+  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+    if (is_free[n]) continue;
+    const std::uint64_t h = hash3(nodes_[n].var, nodes_[n].lo, nodes_[n].hi);
+    const auto bucket = static_cast<std::uint32_t>(h & (buckets_.size() - 1));
+    nodes_[n].next = buckets_[bucket];
+    buckets_[bucket] = n;
+  }
+}
+
+void BddManager::maybe_gc() {
+  if (allocated_nodes() <= gc_threshold_) return;
+  collect_garbage();
+  if (allocated_nodes() > gc_threshold_ / 2) gc_threshold_ *= 2;
+}
+
+void BddManager::mark(std::uint32_t idx, std::vector<bool>& marked) const {
+  std::vector<std::uint32_t> stack{idx};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (marked[n]) continue;
+    marked[n] = true;
+    if (nodes_[n].var != kVarTerminal) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+}
+
+std::size_t BddManager::collect_garbage() {
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[0] = marked[1] = true;
+  for (const Bdd* h = registry_head_; h != nullptr; h = h->reg_next_)
+    mark(h->idx_, marked);
+  for (const std::uint32_t vn : var_nodes_)
+    if (vn != kNil) mark(vn, marked);
+
+  // Sweep: rebuild the free list and the unique table from scratch.
+  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  free_head_ = kNil;
+  free_count_ = 0;
+  std::size_t freed = 0;
+  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+    if (!marked[n]) {
+      nodes_[n].var = kVarTerminal;
+      nodes_[n].next = free_head_;
+      free_head_ = n;
+      ++free_count_;
+      ++freed;
+    } else {
+      const std::uint64_t h = hash3(nodes_[n].var, nodes_[n].lo, nodes_[n].hi);
+      const auto bucket = static_cast<std::uint32_t>(h & (buckets_.size() - 1));
+      nodes_[n].next = buckets_[bucket];
+      buckets_[bucket] = n;
+    }
+  }
+  cache_clear();
+  ++gc_count_;
+  return freed;
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+std::uint32_t BddManager::cache_lookup(Op op, std::uint64_t a, std::uint64_t b,
+                                       std::uint64_t c) const {
+  const std::uint64_t key_lo = a | (b << 32);
+  const std::uint64_t key_hi = (static_cast<std::uint64_t>(op) << 40) | c;
+  const std::size_t slot = hash3(key_lo, key_hi, 0) & cache_mask_;
+  const CacheEntry& e = cache_[slot];
+  if (e.valid && e.key_lo == key_lo && e.key_hi == key_hi) return e.result;
+  return kNil;
+}
+
+void BddManager::cache_insert(Op op, std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c, std::uint32_t result) {
+  const std::uint64_t key_lo = a | (b << 32);
+  const std::uint64_t key_hi = (static_cast<std::uint64_t>(op) << 40) | c;
+  const std::size_t slot = hash3(key_lo, key_hi, 0) & cache_mask_;
+  cache_[slot] = CacheEntry{key_hi, key_lo, result, true};
+}
+
+void BddManager::cache_clear() {
+  for (CacheEntry& e : cache_) e.valid = false;
+}
+
+std::uint32_t BddManager::register_perm(
+    const std::vector<std::uint32_t>& var_map) {
+  for (std::uint32_t i = 0; i < registered_perms_.size(); ++i)
+    if (registered_perms_[i] == var_map) return i;
+  registered_perms_.push_back(var_map);
+  return next_perm_id_++;
+}
+
+}  // namespace xatpg

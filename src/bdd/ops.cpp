@@ -1,0 +1,399 @@
+// Recursive BDD operation cores.  All *_rec functions operate on raw node
+// indices; garbage collection is only ever triggered at the public entry
+// points (maybe_gc), so indices remain stable throughout a recursion.
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "util/check.hpp"
+
+namespace xatpg {
+
+namespace {
+constexpr std::uint32_t kVarTerminalLocal = 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------------
+// ite
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  XATPG_CHECK(f.manager() == this && g.manager() == this &&
+              h.manager() == this);
+  maybe_gc();
+  return Bdd(this, ite_rec(f.index(), g.index(), h.index()));
+}
+
+std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
+                                  std::uint32_t h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+  if (g == 0 && h == 1) return not_rec(f);
+
+  const std::uint32_t hit = cache_lookup(Op::Ite, f, g, h);
+  if (hit != kNil) return hit;
+
+  const auto var_of = [&](std::uint32_t n) {
+    return nodes_[n].var == kVarTerminal ? kVarTerminalLocal : nodes_[n].var;
+  };
+  const std::uint32_t top =
+      std::min(var_of(f), std::min(var_of(g), var_of(h)));
+
+  const auto cof = [&](std::uint32_t n, bool hi) {
+    if (nodes_[n].var != top) return n;
+    return hi ? nodes_[n].hi : nodes_[n].lo;
+  };
+
+  const std::uint32_t r0 = ite_rec(cof(f, false), cof(g, false), cof(h, false));
+  const std::uint32_t r1 = ite_rec(cof(f, true), cof(g, true), cof(h, true));
+  const std::uint32_t result = make_node(top, r0, r1);
+  cache_insert(Op::Ite, f, g, h, result);
+  return result;
+}
+
+std::uint32_t BddManager::not_rec(std::uint32_t f) {
+  if (f == 0) return 1;
+  if (f == 1) return 0;
+  const std::uint32_t hit = cache_lookup(Op::Not, f, 0, 0);
+  if (hit != kNil) return hit;
+  const Node n = nodes_[f];
+  const std::uint32_t r0 = not_rec(n.lo);
+  const std::uint32_t r1 = not_rec(n.hi);
+  const std::uint32_t result = make_node(n.var, r0, r1);
+  cache_insert(Op::Not, f, 0, 0, result);
+  return result;
+}
+
+Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  return Bdd(this, ite_rec(f.index(), g.index(), 0));
+}
+
+Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  return Bdd(this, ite_rec(f.index(), 1, g.index()));
+}
+
+Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
+  maybe_gc();
+  const std::uint32_t ng = not_rec(g.index());
+  return Bdd(this, ite_rec(f.index(), ng, g.index()));
+}
+
+Bdd BddManager::apply_not(const Bdd& f) {
+  maybe_gc();
+  return Bdd(this, not_rec(f.index()));
+}
+
+// ---------------------------------------------------------------------------
+// Quantification
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  maybe_gc();
+  return Bdd(this, quant_rec(f.index(), cube.index(), /*universal=*/false));
+}
+
+Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  maybe_gc();
+  return Bdd(this, quant_rec(f.index(), cube.index(), /*universal=*/true));
+}
+
+std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
+                                    bool universal) {
+  if (f == 0 || f == 1) return f;
+  // Skip quantified variables above f's top variable (they do not occur).
+  while (cube != 1 && nodes_[cube].var < nodes_[f].var)
+    cube = nodes_[cube].hi;
+  if (cube == 1) return f;
+
+  const Op op = universal ? Op::Forall : Op::Exists;
+  const std::uint32_t hit = cache_lookup(op, f, cube, 0);
+  if (hit != kNil) return hit;
+
+  const Node nf = nodes_[f];
+  const Node nc = nodes_[cube];
+  std::uint32_t result;
+  if (nf.var == nc.var) {
+    const std::uint32_t l = quant_rec(nf.lo, nc.hi, universal);
+    const std::uint32_t r = quant_rec(nf.hi, nc.hi, universal);
+    result = universal ? ite_rec(l, r, 0) : ite_rec(l, 1, r);
+  } else {  // nf.var < nc.var
+    const std::uint32_t l = quant_rec(nf.lo, cube, universal);
+    const std::uint32_t r = quant_rec(nf.hi, cube, universal);
+    result = make_node(nf.var, l, r);
+  }
+  cache_insert(op, f, cube, 0, result);
+  return result;
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  maybe_gc();
+  return Bdd(this, and_exists_rec(f.index(), g.index(), cube.index()));
+}
+
+std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
+                                         std::uint32_t cube) {
+  if (f == 0 || g == 0) return 0;
+  if (f == 1 && g == 1) return 1;
+  if (f == 1) return quant_rec(g, cube, /*universal=*/false);
+  if (g == 1) return quant_rec(f, cube, /*universal=*/false);
+  if (cube == 1) return ite_rec(f, g, 0);
+
+  const std::uint32_t top = std::min(nodes_[f].var, nodes_[g].var);
+  while (cube != 1 && nodes_[cube].var < top) cube = nodes_[cube].hi;
+  if (cube == 1) return ite_rec(f, g, 0);
+
+  const std::uint32_t hit = cache_lookup(Op::AndExists, f, g, cube);
+  if (hit != kNil) return hit;
+
+  const auto cof = [&](std::uint32_t n, bool hi) {
+    if (nodes_[n].var != top) return n;
+    return hi ? nodes_[n].hi : nodes_[n].lo;
+  };
+
+  std::uint32_t result;
+  if (nodes_[cube].var == top) {
+    const std::uint32_t rest = nodes_[cube].hi;
+    const std::uint32_t r0 = and_exists_rec(cof(f, false), cof(g, false), rest);
+    if (r0 == 1) {
+      result = 1;
+    } else {
+      const std::uint32_t r1 = and_exists_rec(cof(f, true), cof(g, true), rest);
+      result = ite_rec(r0, 1, r1);
+    }
+  } else {
+    const std::uint32_t r0 = and_exists_rec(cof(f, false), cof(g, false), cube);
+    const std::uint32_t r1 = and_exists_rec(cof(f, true), cof(g, true), cube);
+    result = make_node(top, r0, r1);
+  }
+  cache_insert(Op::AndExists, f, g, cube, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Renaming / composition / cofactors
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::permute(const Bdd& f, const std::vector<std::uint32_t>& var_map) {
+  XATPG_CHECK(var_map.size() == num_vars_);
+  maybe_gc();
+  const std::uint32_t perm_id = register_perm(var_map);
+  return Bdd(this, permute_rec(f.index(), perm_id, var_map));
+}
+
+std::uint32_t BddManager::permute_rec(
+    std::uint32_t f, std::uint32_t perm_id,
+    const std::vector<std::uint32_t>& var_map) {
+  if (f == 0 || f == 1) return f;
+  const std::uint32_t hit = cache_lookup(Op::Permute, f, perm_id, 0);
+  if (hit != kNil) return hit;
+  const Node nf = nodes_[f];
+  const std::uint32_t l = permute_rec(nf.lo, perm_id, var_map);
+  const std::uint32_t r = permute_rec(nf.hi, perm_id, var_map);
+  // The renamed variable may fall anywhere in the order relative to the
+  // rebuilt children, so route through ite on the fresh literal.
+  const std::uint32_t lit = make_node(var_map[nf.var], 0, 1);
+  const std::uint32_t result = ite_rec(lit, r, l);
+  cache_insert(Op::Permute, f, perm_id, 0, result);
+  return result;
+}
+
+Bdd BddManager::compose(const Bdd& f, std::uint32_t v, const Bdd& g) {
+  maybe_gc();
+  return Bdd(this, compose_rec(f.index(), v, g.index()));
+}
+
+std::uint32_t BddManager::compose_rec(std::uint32_t f, std::uint32_t v,
+                                      std::uint32_t g) {
+  if (f == 0 || f == 1) return f;
+  const Node nf = nodes_[f];
+  if (nf.var > v) return f;  // ordered: v cannot occur below
+  const std::uint32_t hit = cache_lookup(Op::Compose0, f, g, v);
+  if (hit != kNil) return hit;
+  std::uint32_t result;
+  if (nf.var == v) {
+    result = ite_rec(g, nf.hi, nf.lo);
+  } else {
+    const std::uint32_t l = compose_rec(nf.lo, v, g);
+    const std::uint32_t r = compose_rec(nf.hi, v, g);
+    const std::uint32_t lit = make_node(nf.var, 0, 1);
+    result = ite_rec(lit, r, l);
+  }
+  cache_insert(Op::Compose0, f, g, v, result);
+  return result;
+}
+
+Bdd BddManager::cofactor(const Bdd& f, std::uint32_t v, bool phase) {
+  maybe_gc();
+  return Bdd(this, cofactor_rec(f.index(), v, phase));
+}
+
+std::uint32_t BddManager::cofactor_rec(std::uint32_t f, std::uint32_t v,
+                                       bool phase) {
+  if (f == 0 || f == 1) return f;
+  const Node nf = nodes_[f];
+  if (nf.var > v) return f;
+  if (nf.var == v) return phase ? nf.hi : nf.lo;
+  const std::uint32_t key = (static_cast<std::uint32_t>(v) << 1) |
+                            static_cast<std::uint32_t>(phase);
+  const std::uint32_t hit = cache_lookup(Op::Cofactor, f, key, 0);
+  if (hit != kNil) return hit;
+  const std::uint32_t l = cofactor_rec(nf.lo, v, phase);
+  const std::uint32_t r = cofactor_rec(nf.hi, v, phase);
+  const std::uint32_t result = make_node(nf.var, l, r);
+  cache_insert(Op::Cofactor, f, key, 0, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Support / counting / extraction
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> BddManager::support_vars(const Bdd& f) {
+  std::vector<bool> in_support(num_vars_, false);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<std::uint32_t> stack;
+  if (f.valid()) stack.push_back(f.index());
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (n <= 1 || seen[n]) continue;
+    seen[n] = true;
+    in_support[nodes_[n].var] = true;
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < num_vars_; ++v)
+    if (in_support[v]) out.push_back(v);
+  return out;
+}
+
+Bdd BddManager::support_cube(const Bdd& f) {
+  return make_cube(support_vars(f));
+}
+
+Bdd BddManager::make_cube(const std::vector<std::uint32_t>& vars) {
+  // Build bottom-up (largest variable first) so each step is O(1).
+  std::vector<std::uint32_t> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint32_t acc = 1;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it)
+    acc = make_node(*it, 0, acc);
+  return Bdd(this, acc);
+}
+
+Bdd BddManager::make_minterm(const std::vector<std::uint32_t>& vars,
+                             const std::vector<bool>& values) {
+  XATPG_CHECK(vars.size() == values.size());
+  std::vector<std::pair<std::uint32_t, bool>> lits;
+  lits.reserve(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    lits.emplace_back(vars[i], values[i]);
+  std::sort(lits.begin(), lits.end());
+  std::uint32_t acc = 1;
+  for (auto it = lits.rbegin(); it != lits.rend(); ++it)
+    acc = it->second ? make_node(it->first, 0, acc)
+                     : make_node(it->first, acc, 0);
+  return Bdd(this, acc);
+}
+
+double BddManager::sat_count(const Bdd& f, std::uint32_t nvars) {
+  std::unordered_map<std::uint32_t, double> memo;
+  // rec(n) = number of assignments of variables in [var(n), nvars) that
+  // satisfy n; terminals behave as var == nvars.
+  auto var_of = [&](std::uint32_t n) -> std::uint32_t {
+    return (n <= 1) ? nvars : nodes_[n].var;
+  };
+  auto rec = [&](auto&& self, std::uint32_t n) -> double {
+    if (n == 0) return 0.0;
+    if (n == 1) return 1.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const Node nn = nodes_[n];
+    const double cl = self(self, nn.lo) *
+                      std::pow(2.0, var_of(nn.lo) - nn.var - 1);
+    const double ch = self(self, nn.hi) *
+                      std::pow(2.0, var_of(nn.hi) - nn.var - 1);
+    const double result = cl + ch;
+    memo.emplace(n, result);
+    return result;
+  };
+  if (f.index() == 1) return std::pow(2.0, nvars);
+  if (f.index() == 0) return 0.0;
+  return rec(rec, f.index()) * std::pow(2.0, nodes_[f.index()].var);
+}
+
+std::vector<Tri> BddManager::pick_minterm(
+    const Bdd& f, const std::vector<std::uint32_t>& vars) {
+  XATPG_CHECK_MSG(!f.is_false(), "cannot pick a minterm of the zero function");
+  std::vector<Tri> by_var(num_vars_, Tri::DontCare);
+  std::uint32_t n = f.index();
+  while (n > 1) {
+    const Node nn = nodes_[n];
+    if (nn.lo != 0) {
+      by_var[nn.var] = Tri::Zero;
+      n = nn.lo;
+    } else {
+      by_var[nn.var] = Tri::One;
+      n = nn.hi;
+    }
+  }
+  std::vector<Tri> out;
+  out.reserve(vars.size());
+  for (const std::uint32_t v : vars) out.push_back(by_var[v]);
+  return out;
+}
+
+std::vector<std::vector<bool>> BddManager::all_minterms(
+    const Bdd& f, const std::vector<std::uint32_t>& vars, std::size_t limit) {
+  for (std::size_t i = 1; i < vars.size(); ++i)
+    XATPG_CHECK_MSG(vars[i - 1] < vars[i], "vars must be strictly ascending");
+  std::vector<std::vector<bool>> out;
+  std::vector<bool> current(vars.size(), false);
+  auto rec = [&](auto&& self, std::uint32_t node, std::size_t pos) -> void {
+    if (node == 0) return;
+    if (pos == vars.size()) {
+      XATPG_CHECK_MSG(node == 1,
+                      "all_minterms: variable list does not cover support");
+      XATPG_CHECK_MSG(out.size() < limit, "all_minterms: limit exceeded");
+      out.push_back(current);
+      return;
+    }
+    const std::uint32_t node_var =
+        (node <= 1) ? 0xffffffffu : nodes_[node].var;
+    XATPG_CHECK_MSG(node_var >= vars[pos],
+                    "all_minterms: variable list does not cover support");
+    if (node_var == vars[pos]) {
+      const Node nn = nodes_[node];
+      current[pos] = false;
+      self(self, nn.lo, pos + 1);
+      current[pos] = true;
+      self(self, nn.hi, pos + 1);
+    } else {  // don't-care on vars[pos]
+      current[pos] = false;
+      self(self, node, pos + 1);
+      current[pos] = true;
+      self(self, node, pos + 1);
+    }
+  };
+  rec(rec, f.index(), 0);
+  return out;
+}
+
+bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
+  std::uint32_t n = f.index();
+  while (n > 1) {
+    const Node nn = nodes_[n];
+    XATPG_CHECK(nn.var < assignment.size());
+    n = assignment[nn.var] ? nn.hi : nn.lo;
+  }
+  return n == 1;
+}
+
+}  // namespace xatpg

@@ -1,0 +1,54 @@
+#include "netlist/gate.hpp"
+
+#include <cctype>
+
+namespace xatpg {
+
+const char* gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::Input: return "INPUT";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Or: return "OR";
+    case GateType::Nand: return "NAND";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Maj: return "MAJ";
+    case GateType::Celem: return "C";
+    case GateType::Gc: return "GC";
+    case GateType::Sop: return "SOP";
+  }
+  return "?";
+}
+
+GateType parse_gate_type(const std::string& token) {
+  // Strip a trailing arity suffix ("AND2" -> "AND").
+  std::string base;
+  for (char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) break;
+    base += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (base == "INPUT") return GateType::Input;
+  if (base == "BUF" || base == "BUFF") return GateType::Buf;
+  if (base == "NOT" || base == "INV") return GateType::Not;
+  if (base == "AND") return GateType::And;
+  if (base == "OR") return GateType::Or;
+  if (base == "NAND") return GateType::Nand;
+  if (base == "NOR") return GateType::Nor;
+  if (base == "XOR") return GateType::Xor;
+  if (base == "XNOR") return GateType::Xnor;
+  if (base == "MAJ") return GateType::Maj;
+  if (base == "C" || base == "CELEM") return GateType::Celem;
+  if (base == "GC") return GateType::Gc;
+  if (base == "SOP") return GateType::Sop;
+  XATPG_CHECK_MSG(false, "unknown gate type '" << token << "'");
+  return GateType::Buf;
+}
+
+bool is_state_holding(GateType type) {
+  return type == GateType::Celem || type == GateType::Gc;
+}
+
+}  // namespace xatpg

@@ -1,0 +1,223 @@
+// Text-format readers/writers for the native .xnl format and ISCAS-style
+// .bench files.
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "netlist/netlist.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace xatpg {
+
+namespace {
+
+Cube parse_cube(const std::string& text, std::size_t arity, int line_no) {
+  Cube cube;
+  XATPG_CHECK_MSG(text.size() == arity,
+                  "line " << line_no << ": cube '" << text << "' has "
+                          << text.size() << " literals, expected " << arity);
+  for (char c : text) {
+    switch (c) {
+      case '0': cube.lits.push_back(0); break;
+      case '1': cube.lits.push_back(1); break;
+      case '-': cube.lits.push_back(-1); break;
+      default:
+        XATPG_CHECK_MSG(false, "line " << line_no << ": bad cube literal '"
+                                       << c << "'");
+    }
+  }
+  return cube;
+}
+
+Cover parse_cover(const std::string& field, std::size_t arity, int line_no) {
+  Cover cover;
+  for (const std::string& tok : split_ws(field)) {
+    for (const std::string& cube_text : split(tok, ',')) {
+      if (cube_text.empty()) continue;
+      cover.push_back(parse_cube(cube_text, arity, line_no));
+    }
+  }
+  return cover;
+}
+
+std::string cube_to_string(const Cube& cube) {
+  std::string s;
+  for (const std::int8_t lit : cube.lits)
+    s += (lit == 1) ? '1' : (lit == 0) ? '0' : '-';
+  return s;
+}
+
+std::string cover_to_string(const Cover& cover) {
+  std::string s;
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    if (i) s += ' ';
+    s += cube_to_string(cover[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+Netlist parse_xnl(std::istream& in) {
+  Netlist netlist;
+  std::string line;
+  int line_no = 0;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto text = std::string(trim(line));
+    if (text.empty()) continue;
+    XATPG_CHECK_MSG(!ended, "line " << line_no << ": content after .end");
+
+    const auto tokens = split_ws(text);
+    const std::string& keyword = tokens[0];
+    if (keyword == ".model") {
+      XATPG_CHECK_MSG(tokens.size() == 2, "line " << line_no << ": .model NAME");
+      netlist.set_name(tokens[1]);
+    } else if (keyword == ".inputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        netlist.add_input(tokens[i]);
+    } else if (keyword == ".outputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        netlist.declare_signal(tokens[i]);
+      // Output markings are applied after all declarations (below we mark
+      // immediately; declare_signal makes the id available).
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        netlist.set_output(netlist.signal(tokens[i]));
+    } else if (keyword == ".gate") {
+      XATPG_CHECK_MSG(tokens.size() >= 3,
+                      "line " << line_no << ": .gate TYPE out in...");
+      const GateType type = parse_gate_type(tokens[1]);
+      std::vector<SignalId> fanins;
+      for (std::size_t i = 3; i < tokens.size(); ++i)
+        fanins.push_back(netlist.declare_signal(tokens[i]));
+      netlist.add_gate(type, tokens[2], fanins);
+    } else if (keyword == ".sop" || keyword == ".gc") {
+      // .sop out : in1 in2 : cubes      /  .gc out : ins : set : reset
+      const auto fields = split(text.substr(keyword.size()), ':');
+      const bool is_gc = keyword == ".gc";
+      XATPG_CHECK_MSG(fields.size() == (is_gc ? 4u : 3u),
+                      "line " << line_no << ": expected " << (is_gc ? 4 : 3)
+                              << " ':'-separated fields");
+      const auto out_names = split_ws(fields[0]);
+      XATPG_CHECK_MSG(out_names.size() == 1,
+                      "line " << line_no << ": exactly one output name");
+      std::vector<SignalId> fanins;
+      for (const std::string& in_name : split_ws(fields[1]))
+        fanins.push_back(netlist.declare_signal(in_name));
+      if (is_gc) {
+        netlist.add_gc(out_names[0], fanins,
+                       parse_cover(fields[2], fanins.size(), line_no),
+                       parse_cover(fields[3], fanins.size(), line_no));
+      } else {
+        netlist.add_sop(out_names[0], fanins,
+                        parse_cover(fields[2], fanins.size(), line_no));
+      }
+    } else if (keyword == ".end") {
+      ended = true;
+    } else {
+      XATPG_CHECK_MSG(false, "line " << line_no << ": unknown directive '"
+                                     << keyword << "'");
+    }
+  }
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_xnl_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_xnl(in);
+}
+
+void write_xnl(const Netlist& netlist, std::ostream& out) {
+  out << ".model " << (netlist.name().empty() ? "anon" : netlist.name())
+      << "\n.inputs";
+  for (const SignalId s : netlist.inputs()) out << " " << netlist.signal_name(s);
+  out << "\n.outputs";
+  for (const SignalId s : netlist.outputs())
+    out << " " << netlist.signal_name(s);
+  out << "\n";
+  for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+    const Gate& g = netlist.gate(s);
+    if (g.type == GateType::Input) continue;
+    if (g.type == GateType::Sop || g.type == GateType::Gc) {
+      out << (g.type == GateType::Sop ? ".sop " : ".gc ") << g.name << " :";
+      for (const SignalId f : g.fanins) out << " " << netlist.signal_name(f);
+      out << " : " << cover_to_string(g.cover);
+      if (g.type == GateType::Gc) out << " : " << cover_to_string(g.reset_cover);
+      out << "\n";
+    } else {
+      out << ".gate " << gate_type_name(g.type) << " " << g.name;
+      for (const SignalId f : g.fanins) out << " " << netlist.signal_name(f);
+      out << "\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_xnl_string(const Netlist& netlist) {
+  std::ostringstream os;
+  write_xnl(netlist, os);
+  return os.str();
+}
+
+Netlist parse_bench(std::istream& in) {
+  Netlist netlist("bench");
+  std::string line;
+  int line_no = 0;
+  std::vector<std::string> pending_outputs;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string text(trim(line));
+    if (text.empty()) continue;
+
+    if (starts_with(text, "INPUT(")) {
+      const auto close = text.find(')');
+      XATPG_CHECK_MSG(close != std::string::npos,
+                      "line " << line_no << ": missing ')'");
+      netlist.add_input(std::string(trim(text.substr(6, close - 6))));
+      continue;
+    }
+    if (starts_with(text, "OUTPUT(")) {
+      const auto close = text.find(')');
+      XATPG_CHECK_MSG(close != std::string::npos,
+                      "line " << line_no << ": missing ')'");
+      pending_outputs.emplace_back(trim(text.substr(7, close - 7)));
+      continue;
+    }
+    const auto eq = text.find('=');
+    XATPG_CHECK_MSG(eq != std::string::npos,
+                    "line " << line_no << ": expected assignment");
+    const std::string out_name(trim(text.substr(0, eq)));
+    std::string rhs(trim(text.substr(eq + 1)));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    XATPG_CHECK_MSG(open != std::string::npos && close != std::string::npos &&
+                        close > open,
+                    "line " << line_no << ": expected TYPE(args)");
+    const std::string type_name(trim(rhs.substr(0, open)));
+    XATPG_CHECK_MSG(type_name != "DFF" && type_name != "dff",
+                    "line " << line_no
+                            << ": DFF not supported (asynchronous model)");
+    std::vector<SignalId> fanins;
+    for (const std::string& arg : split(rhs.substr(open + 1, close - open - 1),
+                                        ','))
+      fanins.push_back(netlist.declare_signal(std::string(trim(arg))));
+    netlist.add_gate(parse_gate_type(type_name), out_name, fanins);
+  }
+  for (const std::string& name : pending_outputs) netlist.set_output(name);
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_bench_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_bench(in);
+}
+
+}  // namespace xatpg

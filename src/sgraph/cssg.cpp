@@ -1,0 +1,314 @@
+#include "sgraph/cssg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace xatpg {
+
+std::string ExplicitCssg::key(const std::vector<bool>& state) {
+  std::string k(state.size(), '0');
+  for (std::size_t i = 0; i < state.size(); ++i)
+    if (state[i]) k[i] = '1';
+  return k;
+}
+
+std::optional<std::uint32_t> ExplicitCssg::find(
+    const std::vector<bool>& state) const {
+  auto it = index.find(key(state));
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+Cssg::Cssg(const Netlist& netlist,
+           const std::vector<std::vector<bool>>& reset_states,
+           const CssgOptions& options)
+    : enc_(netlist, options.order), options_(options) {
+  XATPG_CHECK_MSG(!reset_states.empty(), "need at least one reset state");
+  reset_set_ = enc_.mgr().bdd_false();
+  for (const auto& state : reset_states) {
+    XATPG_CHECK_MSG(netlist.is_stable_state(state),
+                    "reset state must be stable");
+    reset_set_ |= enc_.state_minterm_cur(state);
+  }
+  build_relations();
+  traverse();
+  build_tcr_and_prune();
+  build_rings();
+  stats_.peak_bdd_nodes = enc_.mgr().peak_nodes();
+}
+
+void Cssg::build_relations() {
+  BddManager& mgr = enc_.mgr();
+  const std::size_t n = enc_.num_signals();
+
+  // Prefix/suffix products of per-signal equalities so each gate's "all
+  // other signals unchanged" frame condition is built in O(n) total work.
+  std::vector<Bdd> eq(n);
+  for (SignalId s = 0; s < n; ++s) eq[s] = enc_.eq_cur_next(s);
+  std::vector<Bdd> prefix(n + 1), suffix(n + 1);
+  prefix[0] = mgr.bdd_true();
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] & eq[i];
+  suffix[n] = mgr.bdd_true();
+  for (std::size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] & eq[i];
+  const Bdd all_eq = prefix[n];
+
+  const Bdd stable = enc_.stable();
+
+  // R_delta: some excited gate fires (output inverts, all else frozen), or
+  // the state is stable and loops to itself.
+  Bdd r_delta = stable & all_eq;
+  for (SignalId s = 0; s < n; ++s) {
+    if (enc_.netlist().is_input(s)) continue;
+    const Bdd excited = enc_.cur(s) ^ enc_.target(s);
+    const Bdd fires = enc_.cur(s) ^ enc_.next(s);  // next = !cur
+    r_delta |= excited & fires & prefix[s] & suffix[s + 1];
+  }
+  r_delta_ = r_delta;
+
+  // R_I: on a stable state, some non-empty subset of primary inputs flips;
+  // gate outputs are unchanged ("no gate has begun to switch yet", §3.2).
+  Bdd gates_eq = mgr.bdd_true();
+  Bdd inputs_eq = mgr.bdd_true();
+  for (SignalId s = 0; s < n; ++s) {
+    if (enc_.netlist().is_input(s)) {
+      inputs_eq &= eq[s];
+    } else {
+      gates_eq &= eq[s];
+    }
+  }
+  r_input_ = stable & gates_eq & !inputs_eq;
+}
+
+void Cssg::traverse() {
+  // Standard symbolic BFS over R = R_I ∪ R_delta (the TCSG recursion of
+  // §3.2, computed as in Coudert/Berthet/Madre).
+  BddManager& mgr = enc_.mgr();
+  const Bdd relation = r_input_ | r_delta_;
+  const Bdd cur_cube = enc_.cur_cube();
+  Bdd reached = reset_set_;
+  Bdd frontier = reset_set_;
+  while (!frontier.is_false()) {
+    ++stats_.traversal_iterations;
+    const Bdd img_next = mgr.and_exists(relation, frontier, cur_cube);
+    const Bdd img = enc_.next_to_cur(img_next);
+    frontier = img & !reached;
+    reached |= frontier;
+  }
+  reachable_ = reached;
+  stable_reachable_ = reached & enc_.stable();
+  stats_.reachable_states = enc_.count_states_cur(reachable_);
+  stats_.stable_states = enc_.count_states_cur(stable_reachable_);
+}
+
+void Cssg::build_tcr_and_prune() {
+  BddManager& mgr = enc_.mgr();
+
+  // A(x, y): y reachable from stable reachable x by one input pattern and
+  // j gate transitions (stable y persists via R_delta self-loops).
+  Bdd a = r_input_ & stable_reachable_;
+  // R_delta with present-state renamed to the aux group: Rd(w, y).
+  const Bdd r_delta_wy = enc_.cur_to_aux(r_delta_);
+  const Bdd aux_cube = enc_.aux_cube();
+  for (std::size_t step = 0; step < options_.k; ++step) {
+    ++stats_.tcr_steps;
+    const Bdd a_xw = enc_.next_to_aux(a);
+    const Bdd a_next = mgr.and_exists(a_xw, r_delta_wy, aux_cube);
+    if (a_next == a) break;  // all trajectories settled early
+    a = a_next;
+  }
+  tcr_ = a;
+  stats_.tcr_pairs = mgr.sat_count(tcr_, mgr.num_vars()) /
+                     std::pow(2.0, static_cast<double>(enc_.num_signals()));
+
+  // Sibling analysis: compare the outcome y against every other k-step
+  // outcome w of the same source state x and the same input pattern.
+  const Bdd a_xw = enc_.next_to_aux(tcr_);
+  Bdd eq_inputs_yw = mgr.bdd_true();
+  Bdd eq_all_yw = mgr.bdd_true();
+  for (SignalId s = 0; s < enc_.num_signals(); ++s) {
+    const Bdd eq_s = !(enc_.next(s) ^ enc_.aux(s));
+    eq_all_yw &= eq_s;
+    if (enc_.netlist().is_input(s)) eq_inputs_yw &= eq_s;
+  }
+  const Bdd stable_w = enc_.cur_to_aux(enc_.stable());
+
+  // Non-confluence: a distinct sibling outcome under the same pattern.
+  const Bdd nonconf =
+      tcr_ & mgr.and_exists(a_xw, eq_inputs_yw & !eq_all_yw, aux_cube);
+  // Oscillation / late settling: an unstable sibling under the same pattern
+  // (covers y itself being unstable).
+  const Bdd unstable =
+      tcr_ & mgr.and_exists(a_xw, eq_inputs_yw & !stable_w, aux_cube);
+
+  const Bdd stable_y = enc_.cur_to_next(enc_.stable());
+  cssg_ = tcr_ & stable_y & !nonconf & !unstable;
+
+  const double denom = std::pow(2.0, static_cast<double>(enc_.num_signals()));
+  stats_.nonconfluent_pairs = mgr.sat_count(nonconf, mgr.num_vars()) / denom;
+  stats_.unstable_pairs =
+      mgr.sat_count(unstable & !nonconf, mgr.num_vars()) / denom;
+  stats_.cssg_edges = mgr.sat_count(cssg_, mgr.num_vars()) / denom;
+}
+
+void Cssg::build_rings() {
+  BddManager& mgr = enc_.mgr();
+  const Bdd cur_cube = enc_.cur_cube();
+  rings_.clear();
+  rings_.push_back(reset_set_);
+  Bdd reached = reset_set_;
+  while (true) {
+    const Bdd img_next = mgr.and_exists(cssg_, rings_.back(), cur_cube);
+    const Bdd img = enc_.next_to_cur(img_next);
+    const Bdd fresh = img & !reached;
+    if (fresh.is_false()) break;
+    reached |= fresh;
+    rings_.push_back(fresh);
+  }
+  cssg_reachable_ = reached;
+  stats_.cssg_reachable_states = enc_.count_states_cur(cssg_reachable_);
+}
+
+const Bdd& Cssg::test_mode_reachable() {
+  if (test_mode_reachable_built_) return test_mode_reachable_;
+  BddManager& mgr = enc_.mgr();
+
+  // ValidRI(x, z): input step of R_I whose pattern matches some CSSG edge
+  // out of x (i.e. the tester is allowed to apply it).
+  Bdd eq_inputs_zy = mgr.bdd_true();  // next(z) group vs aux(y) group
+  for (SignalId s = 0; s < enc_.num_signals(); ++s)
+    if (enc_.netlist().is_input(s))
+      eq_inputs_zy &= !(enc_.next(s) ^ enc_.aux(s));
+  const Bdd cssg_xw = enc_.next_to_aux(cssg_);
+  const Bdd valid_ri =
+      r_input_ & mgr.and_exists(cssg_xw, eq_inputs_zy, enc_.aux_cube());
+
+  // Closure of the CSSG-reachable stable states under ValidRI and R_delta.
+  const Bdd cur_cube = enc_.cur_cube();
+  const Bdd relation = valid_ri | r_delta_;
+  Bdd reached = cssg_reachable_;
+  Bdd frontier = reached;
+  while (!frontier.is_false()) {
+    const Bdd img = enc_.next_to_cur(
+        mgr.and_exists(relation, frontier, cur_cube));
+    frontier = img & !reached;
+    reached |= frontier;
+  }
+  test_mode_reachable_ = reached;
+  test_mode_reachable_built_ = true;
+  return test_mode_reachable_;
+}
+
+Bdd Cssg::image(const Bdd& states) {
+  return enc_.next_to_cur(
+      enc_.mgr().and_exists(cssg_, states, enc_.cur_cube()));
+}
+
+Bdd Cssg::preimage(const Bdd& states) {
+  const Bdd states_next = enc_.cur_to_next(states);
+  return enc_.mgr().exists(cssg_ & states_next, enc_.next_cube());
+}
+
+std::vector<bool> Cssg::input_values_of(const std::vector<bool>& state) const {
+  std::vector<bool> values;
+  values.reserve(enc_.netlist().inputs().size());
+  for (const SignalId in : enc_.netlist().inputs()) values.push_back(state[in]);
+  return values;
+}
+
+std::optional<Justification> Cssg::justify(const Bdd& targets) {
+  // Find the innermost onion ring touching the target set, then walk the
+  // rings backwards picking one concrete predecessor per step.
+  std::size_t hit = rings_.size();
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    if (!(rings_[i] & targets).is_false()) {
+      hit = i;
+      break;
+    }
+  }
+  if (hit == rings_.size()) return std::nullopt;
+
+  Justification result;
+  std::vector<bool> state = enc_.pick_state_cur(rings_[hit] & targets);
+  result.final_state = state;
+  std::vector<std::vector<bool>> vectors_rev;
+  for (std::size_t i = hit; i > 0; --i) {
+    vectors_rev.push_back(input_values_of(state));
+    const Bdd preds = preimage(enc_.state_minterm_cur(state)) & rings_[i - 1];
+    XATPG_CHECK_MSG(!preds.is_false(), "onion rings are inconsistent");
+    state = enc_.pick_state_cur(preds);
+  }
+  result.reset_state = state;
+  result.vectors.assign(vectors_rev.rbegin(), vectors_rev.rend());
+  return result;
+}
+
+ExplicitCssg Cssg::extract_explicit() {
+  ExplicitCssg graph;
+  const auto add_state = [&](const std::vector<bool>& state) -> std::uint32_t {
+    const std::string k = ExplicitCssg::key(state);
+    auto it = graph.index.find(k);
+    if (it != graph.index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(graph.states.size());
+    XATPG_CHECK_MSG(graph.states.size() < options_.max_explicit_states,
+                    "explicit CSSG exceeds state limit");
+    graph.states.push_back(state);
+    graph.edges.emplace_back();
+    graph.index.emplace(k, id);
+    return id;
+  };
+
+  for (const auto& reset : enc_.all_states_cur(reset_set_))
+    graph.reset_ids.push_back(add_state(reset));
+
+  std::vector<std::uint32_t> worklist = graph.reset_ids;
+  while (!worklist.empty()) {
+    const std::uint32_t id = worklist.back();
+    worklist.pop_back();
+    const Bdd succs_next = enc_.mgr().and_exists(
+        cssg_, enc_.state_minterm_cur(graph.states[id]), enc_.cur_cube());
+    const Bdd succs = enc_.next_to_cur(succs_next);
+    if (succs.is_false()) continue;
+    for (const auto& succ : enc_.all_states_cur(succs)) {
+      const bool fresh = !graph.find(succ).has_value();
+      const std::uint32_t to = add_state(succ);
+      graph.edges[id].push_back(
+          ExplicitCssg::Edge{input_values_of(succ), to});
+      if (fresh) worklist.push_back(to);
+    }
+  }
+  return graph;
+}
+
+std::string Cssg::to_dot() {
+  const ExplicitCssg graph = extract_explicit();
+  const auto& inputs = enc_.netlist().inputs();
+  std::ostringstream os;
+  os << "digraph cssg {\n  rankdir=LR;\n";
+  for (std::uint32_t id = 0; id < graph.states.size(); ++id) {
+    os << "  s" << id << " [label=\"" << ExplicitCssg::key(graph.states[id])
+       << "\"";
+    if (std::find(graph.reset_ids.begin(), graph.reset_ids.end(), id) !=
+        graph.reset_ids.end())
+      os << " shape=doublecircle";
+    os << "];\n";
+  }
+  for (std::uint32_t id = 0; id < graph.states.size(); ++id) {
+    for (const auto& edge : graph.edges[id]) {
+      os << "  s" << id << " -> s" << edge.to << " [label=\"";
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (graph.states[id][inputs[i]] != edge.pattern[i])
+          os << enc_.netlist().signal_name(inputs[i])
+             << (edge.pattern[i] ? "+" : "-");
+      }
+      os << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xatpg

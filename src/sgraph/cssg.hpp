@@ -1,0 +1,148 @@
+// Confluent Stable State Graph (§4): the synchronous FSM abstraction of an
+// asynchronous circuit under test.
+//
+// Pipeline (all symbolic, over the SymbolicEncoding's three variable groups):
+//   1. Transition relations:  R_delta (one excited gate fires; stable states
+//      self-loop) and R_I (any non-empty set of primary inputs flips on a
+//      stable state) — §3.1/§3.2.
+//   2. TCSG reachability from the reset states via R = R_I ∪ R_delta.
+//   3. TCR_k: pairs (s, s') with s stable/reachable and s' reached from s by
+//      one input pattern followed by at most k gate transitions (§4.2).
+//      Because stable states self-loop in R_delta, the k-step frontier
+//      contains every settled outcome plus any still-unstable snapshot.
+//   4. CSSG_k: keep (s, s') where s' is stable and is the *only* k-step
+//      outcome with its input pattern — discarding patterns that cause
+//      non-confluence (two distinct outcomes) or oscillation/late settling
+//      (an unstable k-step sibling).
+//
+// On top of the relation: onion-ring reachability restricted to CSSG edges
+// (only valid vectors may be applied during test), justification sequence
+// extraction, and an explicit graph for random TPG / differentiation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sgraph/encoding.hpp"
+
+namespace xatpg {
+
+struct CssgOptions {
+  /// Max gate transitions allowed after an input pattern (the k of TCR_k;
+  /// the paper counts the input change itself as one transition — we count
+  /// gate transitions only, so our k equals the paper's k minus one).
+  std::size_t k = 24;
+  VarOrder order = VarOrder::Interleaved;
+  /// Safety limit for explicit state enumeration.
+  std::size_t max_explicit_states = 200000;
+};
+
+/// Sizes reported for Figure-2-style TCSG -> CSSG statistics.
+struct CssgStats {
+  double reachable_states = 0;         ///< TCSG states (stable + unstable)
+  double stable_states = 0;            ///< stable reachable states
+  double tcr_pairs = 0;                ///< |TCR_k|
+  double nonconfluent_pairs = 0;       ///< pruned: sibling outcome differs
+  double unstable_pairs = 0;           ///< pruned: unsettled k-step sibling
+  double cssg_edges = 0;               ///< |CSSG_k|
+  double cssg_reachable_states = 0;    ///< states reachable by valid vectors
+  std::size_t traversal_iterations = 0;
+  std::size_t tcr_steps = 0;
+  std::size_t peak_bdd_nodes = 0;
+};
+
+/// Explicit (enumerated) CSSG used by random TPG and differentiation.
+struct ExplicitCssg {
+  struct Edge {
+    std::vector<bool> pattern;  ///< input values applied (indexed like inputs())
+    std::uint32_t to = 0;       ///< successor state id
+  };
+  std::vector<std::vector<bool>> states;           ///< full signal vectors
+  std::vector<std::vector<Edge>> edges;            ///< per state id
+  std::vector<std::uint32_t> reset_ids;            ///< ids of reset states
+  std::unordered_map<std::string, std::uint32_t> index;  ///< packed key -> id
+
+  static std::string key(const std::vector<bool>& state);
+  std::optional<std::uint32_t> find(const std::vector<bool>& state) const;
+};
+
+/// A justification: input vector sequence driving the fault-free circuit
+/// from a reset state to a target stable state using only valid vectors.
+struct Justification {
+  std::vector<bool> reset_state;
+  std::vector<std::vector<bool>> vectors;  ///< applied in order
+  std::vector<bool> final_state;
+};
+
+class Cssg {
+ public:
+  /// Build the full abstraction.  `reset_states` must be stable states.
+  Cssg(const Netlist& netlist, const std::vector<std::vector<bool>>& reset_states,
+       const CssgOptions& options = {});
+
+  const Netlist& netlist() const { return enc_.netlist(); }
+  SymbolicEncoding& encoding() { return enc_; }
+  const CssgOptions& options() const { return options_; }
+
+  // --- symbolic artifacts (cur / (cur,next) variable supports) -------------
+  const Bdd& r_delta() const { return r_delta_; }
+  const Bdd& r_input() const { return r_input_; }
+  const Bdd& reachable() const { return reachable_; }         ///< TCSG states
+  const Bdd& stable_reachable() const { return stable_reachable_; }
+  const Bdd& tcr() const { return tcr_; }                     ///< TCR_k
+  const Bdd& relation() const { return cssg_; }               ///< CSSG_k
+  /// States reachable from reset using valid vectors only; rings()[i] is the
+  /// onion ring at distance i (ring 0 = reset states).
+  const Bdd& cssg_reachable() const { return cssg_reachable_; }
+  const std::vector<Bdd>& rings() const { return rings_; }
+
+  /// Every state the circuit can pass through during a legal test session:
+  /// CSSG-reachable stable states plus all transient states of valid-vector
+  /// settlings.  A signal constant across this set can never be excited by
+  /// any test — the basis of a-priori undetectable-fault classification
+  /// (the §6 "finding out a priori undetectable faults" improvement).
+  /// Computed lazily on first use.
+  const Bdd& test_mode_reachable();
+
+  const CssgStats& stats() const { return stats_; }
+
+  // --- queries ---------------------------------------------------------------
+  /// Successor states (over cur) of `states` (over cur) via CSSG edges.
+  Bdd image(const Bdd& states);
+  /// Predecessor states of `states` via CSSG edges.
+  Bdd preimage(const Bdd& states);
+
+  /// Shortest valid-vector sequence from a reset state to any state in
+  /// `targets` (a cur-set); nullopt if unreachable via valid vectors.
+  std::optional<Justification> justify(const Bdd& targets);
+
+  /// Enumerate the explicit CSSG reachable from the reset states.
+  ExplicitCssg extract_explicit();
+
+  /// Graphviz dump of the explicit CSSG (stable states and valid vectors).
+  std::string to_dot();
+
+ private:
+  void build_relations();
+  void traverse();
+  void build_tcr_and_prune();
+  void build_rings();
+  std::vector<bool> input_values_of(const std::vector<bool>& state) const;
+
+  SymbolicEncoding enc_;
+  CssgOptions options_;
+  Bdd r_delta_, r_input_;
+  Bdd reachable_, stable_reachable_;
+  Bdd tcr_, cssg_;
+  Bdd cssg_reachable_;
+  std::vector<Bdd> rings_;
+  Bdd reset_set_;
+  Bdd test_mode_reachable_;
+  bool test_mode_reachable_built_ = false;
+  CssgStats stats_;
+};
+
+}  // namespace xatpg

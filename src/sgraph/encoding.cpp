@@ -1,0 +1,169 @@
+#include "sgraph/encoding.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xatpg {
+
+const char* var_order_name(VarOrder order) {
+  switch (order) {
+    case VarOrder::Interleaved: return "interleaved";
+    case VarOrder::Blocked: return "blocked";
+    case VarOrder::ReverseInterleaved: return "reverse-interleaved";
+  }
+  return "?";
+}
+
+namespace {
+/// eval_gate algebra over BDDs.
+struct BddOps {
+  BddManager* mgr;
+  Bdd zero() const { return mgr->bdd_false(); }
+  Bdd one() const { return mgr->bdd_true(); }
+  Bdd and_(const Bdd& a, const Bdd& b) const { return a & b; }
+  Bdd or_(const Bdd& a, const Bdd& b) const { return a | b; }
+  Bdd not_(const Bdd& a) const { return !a; }
+};
+}  // namespace
+
+SymbolicEncoding::SymbolicEncoding(const Netlist& netlist, VarOrder order)
+    : netlist_(&netlist),
+      mgr_(static_cast<std::uint32_t>(3 * netlist.num_signals())) {
+  build_layout(order);
+  target_cache_.resize(netlist.num_signals());
+}
+
+void SymbolicEncoding::build_layout(VarOrder order) {
+  const auto n = static_cast<std::uint32_t>(netlist_->num_signals());
+  cur_vars_.resize(n);
+  next_vars_.resize(n);
+  aux_vars_.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint32_t rank =
+        (order == VarOrder::ReverseInterleaved) ? (n - 1 - s) : s;
+    switch (order) {
+      case VarOrder::Interleaved:
+      case VarOrder::ReverseInterleaved:
+        cur_vars_[s] = 3 * rank;
+        next_vars_[s] = 3 * rank + 1;
+        aux_vars_[s] = 3 * rank + 2;
+        break;
+      case VarOrder::Blocked:
+        cur_vars_[s] = rank;
+        next_vars_[s] = n + rank;
+        aux_vars_[s] = 2 * n + rank;
+        break;
+    }
+  }
+  // Build permutation maps (identity outside the swapped groups).
+  const std::uint32_t total = 3 * n;
+  perm_cur_next_.resize(total);
+  perm_next_aux_.resize(total);
+  perm_cur_aux_.resize(total);
+  for (std::uint32_t v = 0; v < total; ++v)
+    perm_cur_next_[v] = perm_next_aux_[v] = perm_cur_aux_[v] = v;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    perm_cur_next_[cur_vars_[s]] = next_vars_[s];
+    perm_cur_next_[next_vars_[s]] = cur_vars_[s];
+    perm_next_aux_[next_vars_[s]] = aux_vars_[s];
+    perm_next_aux_[aux_vars_[s]] = next_vars_[s];
+    perm_cur_aux_[cur_vars_[s]] = aux_vars_[s];
+    perm_cur_aux_[aux_vars_[s]] = cur_vars_[s];
+  }
+}
+
+Bdd SymbolicEncoding::state_minterm_cur(const std::vector<bool>& state) {
+  XATPG_CHECK(state.size() == num_signals());
+  return mgr_.make_minterm(cur_vars_, state);
+}
+
+Bdd SymbolicEncoding::state_minterm_next(const std::vector<bool>& state) {
+  XATPG_CHECK(state.size() == num_signals());
+  return mgr_.make_minterm(next_vars_, state);
+}
+
+std::vector<bool> SymbolicEncoding::pick_state_cur(const Bdd& set) {
+  const auto tri = mgr_.pick_minterm(set, cur_vars_);
+  std::vector<bool> state(num_signals());
+  for (SignalId s = 0; s < num_signals(); ++s)
+    state[s] = tri[s] == Tri::One;  // DontCare -> 0 stays inside the set
+  return state;
+}
+
+namespace {
+std::vector<std::vector<bool>> enum_states_over(
+    BddManager& mgr, const Bdd& set, const std::vector<std::uint32_t>& vars,
+    std::size_t limit) {
+  // all_minterms wants strictly ascending variable indices; sort the group
+  // and remember which signal each position corresponds to.
+  std::vector<std::pair<std::uint32_t, SignalId>> order;
+  order.reserve(vars.size());
+  for (SignalId s = 0; s < vars.size(); ++s) order.emplace_back(vars[s], s);
+  std::sort(order.begin(), order.end());
+  std::vector<std::uint32_t> sorted_vars;
+  sorted_vars.reserve(order.size());
+  for (const auto& [v, s] : order) sorted_vars.push_back(v);
+
+  const auto raw = mgr.all_minterms(set, sorted_vars, limit);
+  std::vector<std::vector<bool>> out;
+  out.reserve(raw.size());
+  for (const auto& assignment : raw) {
+    std::vector<bool> state(vars.size());
+    for (std::size_t pos = 0; pos < order.size(); ++pos)
+      state[order[pos].second] = assignment[pos];
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::vector<bool>> SymbolicEncoding::all_states_cur(
+    const Bdd& set, std::size_t limit) {
+  return enum_states_over(mgr_, set, cur_vars_, limit);
+}
+
+std::vector<std::vector<bool>> SymbolicEncoding::all_states_next(
+    const Bdd& set, std::size_t limit) {
+  return enum_states_over(mgr_, set, next_vars_, limit);
+}
+
+Bdd SymbolicEncoding::target(SignalId s) {
+  if (target_cache_[s].valid()) return target_cache_[s];
+  const Gate& g = netlist_->gate(s);
+  Bdd result;
+  if (g.type == GateType::Input) {
+    result = cur(s);
+  } else {
+    std::vector<Bdd> fanin_vals;
+    fanin_vals.reserve(g.fanins.size());
+    for (const SignalId f : g.fanins) fanin_vals.push_back(cur(f));
+    result = eval_gate(g, fanin_vals, cur(s), BddOps{&mgr_});
+  }
+  target_cache_[s] = result;
+  return result;
+}
+
+Bdd SymbolicEncoding::stable() {
+  if (stable_built_) return stable_cache_;
+  Bdd acc = mgr_.bdd_true();
+  for (SignalId s = 0; s < num_signals(); ++s) {
+    if (netlist_->is_input(s)) continue;  // inputs are held by the tester
+    acc &= !(cur(s) ^ target(s));
+  }
+  stable_cache_ = acc;
+  stable_built_ = true;
+  return stable_cache_;
+}
+
+Bdd SymbolicEncoding::eq_cur_next(SignalId s) { return !(cur(s) ^ next(s)); }
+
+double SymbolicEncoding::count_states_cur(const Bdd& set) {
+  // sat_count over the full 3n universe counts each cur-state 2^(2n) times.
+  const double total = mgr_.sat_count(set, mgr_.num_vars());
+  return total / std::pow(2.0, 2.0 * static_cast<double>(num_signals()));
+}
+
+}  // namespace xatpg

@@ -1,0 +1,103 @@
+// Symbolic state encoding of an asynchronous circuit (§3.1 of the paper).
+//
+// The state of an asynchronous circuit is the binary vector of *all* its
+// signals — primary inputs and gate outputs alike (feedback loops are not
+// cut by clocked flip-flops).  Three BDD variable groups encode a state
+// relation: present-state (cur), next-state (next), and an auxiliary group
+// (aux) used as the middle variable set when composing relations (TCR_k)
+// and as the "sibling final state" set when pruning non-confluence.
+//
+// The group/variable interleaving is selectable — the paper lists BDD
+// variable ordering as the main lever on 3-phase ATPG cost (§6), and
+// bench_ablation_ordering measures exactly this choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace xatpg {
+
+enum class VarOrder {
+  Interleaved,         ///< x_i, y_i, w_i adjacent per signal (default)
+  Blocked,             ///< all x, then all y, then all w
+  ReverseInterleaved,  ///< interleaved, signals in reverse netlist order
+};
+
+const char* var_order_name(VarOrder order);
+
+/// Owns the BddManager and the variable layout for one netlist.
+class SymbolicEncoding {
+ public:
+  SymbolicEncoding(const Netlist& netlist, VarOrder order = VarOrder::Interleaved);
+
+  const Netlist& netlist() const { return *netlist_; }
+  BddManager& mgr() { return mgr_; }
+  std::size_t num_signals() const { return netlist_->num_signals(); }
+
+  std::uint32_t cur_var(SignalId s) const { return cur_vars_[s]; }
+  std::uint32_t next_var(SignalId s) const { return next_vars_[s]; }
+  std::uint32_t aux_var(SignalId s) const { return aux_vars_[s]; }
+
+  /// Positive literal of signal s in each group.
+  Bdd cur(SignalId s) { return mgr_.var(cur_vars_[s]); }
+  Bdd next(SignalId s) { return mgr_.var(next_vars_[s]); }
+  Bdd aux(SignalId s) { return mgr_.var(aux_vars_[s]); }
+
+  /// Quantification cubes per group.
+  Bdd cur_cube() { return mgr_.make_cube(cur_vars_); }
+  Bdd next_cube() { return mgr_.make_cube(next_vars_); }
+  Bdd aux_cube() { return mgr_.make_cube(aux_vars_); }
+
+  /// Group renamings (cur<->next, next->aux, cur->aux; other groups fixed).
+  Bdd cur_to_next(const Bdd& f) { return mgr_.permute(f, perm_cur_next_); }
+  Bdd next_to_cur(const Bdd& f) { return mgr_.permute(f, perm_cur_next_); }
+  Bdd next_to_aux(const Bdd& f) { return mgr_.permute(f, perm_next_aux_); }
+  Bdd aux_to_next(const Bdd& f) { return mgr_.permute(f, perm_next_aux_); }
+  Bdd cur_to_aux(const Bdd& f) { return mgr_.permute(f, perm_cur_aux_); }
+
+  /// Minterm of a complete state over the chosen group's variables.
+  Bdd state_minterm_cur(const std::vector<bool>& state);
+  Bdd state_minterm_next(const std::vector<bool>& state);
+
+  /// Pick one complete state from a non-empty set over cur variables
+  /// (don't-cares resolved to 0 — still a member of the set).
+  std::vector<bool> pick_state_cur(const Bdd& set);
+
+  /// Enumerate all complete states in a set over cur (or next) variables.
+  std::vector<std::vector<bool>> all_states_cur(const Bdd& set,
+                                                std::size_t limit = 1u << 20);
+  std::vector<std::vector<bool>> all_states_next(const Bdd& set,
+                                                 std::size_t limit = 1u << 20);
+
+  /// Target (settled) value of gate s as a function of cur variables; for
+  /// state-holding gates this includes the gate's own present value.
+  Bdd target(SignalId s);
+
+  /// Predicate over cur: every gate output equals its target (§3.1's
+  /// "stable state").
+  Bdd stable();
+
+  /// cur(s) XNOR next(s).
+  Bdd eq_cur_next(SignalId s);
+
+  /// Number of satisfying states of a cur-set (each state counted once).
+  double count_states_cur(const Bdd& set);
+
+ private:
+  void build_layout(VarOrder order);
+  std::vector<bool> reorder_by_level(const std::vector<std::uint32_t>& vars,
+                                     const std::vector<bool>& by_signal) const;
+
+  const Netlist* netlist_;
+  BddManager mgr_;
+  std::vector<std::uint32_t> cur_vars_, next_vars_, aux_vars_;
+  std::vector<std::uint32_t> perm_cur_next_, perm_next_aux_, perm_cur_aux_;
+  std::vector<Bdd> target_cache_;
+  Bdd stable_cache_;
+  bool stable_built_ = false;
+};
+
+}  // namespace xatpg

@@ -1,0 +1,99 @@
+#include "sim/explicit.hpp"
+
+#include "util/check.hpp"
+
+namespace xatpg {
+
+std::vector<SignalId> excited_gates(const Netlist& netlist,
+                                    const std::vector<bool>& state) {
+  std::vector<SignalId> out;
+  for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+    if (netlist.is_input(s)) continue;
+    if (!netlist.is_gate_stable(s, state)) out.push_back(s);
+  }
+  return out;
+}
+
+ExploreResult explore_settling(const Netlist& netlist,
+                               const std::vector<bool>& stable_from,
+                               const std::vector<bool>& input_values,
+                               std::size_t max_transitions) {
+  XATPG_CHECK(stable_from.size() == netlist.num_signals());
+  XATPG_CHECK(input_values.size() == netlist.inputs().size());
+
+  ExploreResult result;
+  std::vector<bool> start = stable_from;
+  for (std::size_t i = 0; i < input_values.size(); ++i)
+    start[netlist.inputs()[i]] = input_values[i];
+
+  // Level-synchronous exploration: level d holds the set of *unstable*
+  // states reachable in exactly d gate transitions after the input flip;
+  // stable states are recorded and not expanded (they self-loop in R_delta).
+  // This matches the TCR_k semantics exactly: the pattern is valid iff one
+  // stable state is reachable and no trajectory is still unstable after
+  // max_transitions steps.
+  std::set<std::vector<bool>> seen_states;  // statistics only
+  std::set<std::vector<bool>> level{start};
+  std::size_t depth = 0;
+  while (!level.empty()) {
+    std::set<std::vector<bool>> next_level;
+    for (const std::vector<bool>& state : level) {
+      seen_states.insert(state);
+      const auto excited = excited_gates(netlist, state);
+      if (excited.empty()) {
+        result.stable_states.insert(state);
+        continue;
+      }
+      if (depth == max_transitions) {
+        // An unstable state survives at the transition bound: oscillation
+        // or a settle time longer than the test cycle.
+        result.exceeded_bound = true;
+        continue;
+      }
+      for (const SignalId g : excited) {
+        std::vector<bool> succ = state;
+        succ[g] = !succ[g];
+        next_level.insert(std::move(succ));
+      }
+    }
+    if (depth == max_transitions) break;
+    result.longest_path = depth;
+    level = std::move(next_level);
+    ++depth;
+  }
+  result.states_visited = seen_states.size();
+  return result;
+}
+
+std::set<std::vector<bool>> explicit_stable_reachable(
+    const Netlist& netlist, const std::vector<bool>& reset_state,
+    std::size_t max_transitions) {
+  XATPG_CHECK_MSG(netlist.is_stable_state(reset_state),
+                  "reset state must be stable");
+  const std::size_t num_inputs = netlist.inputs().size();
+  XATPG_CHECK_MSG(num_inputs <= 16, "too many inputs for explicit exploration");
+
+  std::set<std::vector<bool>> stable_seen{reset_state};
+  std::vector<std::vector<bool>> worklist{reset_state};
+  while (!worklist.empty()) {
+    const std::vector<bool> state = worklist.back();
+    worklist.pop_back();
+    for (std::uint64_t pattern = 0; pattern < (1ull << num_inputs); ++pattern) {
+      std::vector<bool> input_values(num_inputs);
+      bool same = true;
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        input_values[i] = (pattern >> i) & 1;
+        same = same && (input_values[i] == state[netlist.inputs()[i]]);
+      }
+      if (same) continue;  // R_I requires at least one input to change
+      const ExploreResult explored =
+          explore_settling(netlist, state, input_values, max_transitions);
+      for (const std::vector<bool>& st : explored.stable_states) {
+        if (stable_seen.insert(st).second) worklist.push_back(st);
+      }
+    }
+  }
+  return stable_seen;
+}
+
+}  // namespace xatpg

@@ -1,0 +1,179 @@
+#include "stg/stg.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace xatpg {
+
+std::uint32_t Stg::add_signal(const std::string& name, SignalKind kind,
+                              bool initial_value) {
+  for (const Signal& s : signals_)
+    XATPG_CHECK_MSG(s.name != name, "duplicate signal '" << name << "'");
+  signals_.push_back(Signal{name, kind, initial_value});
+  return static_cast<std::uint32_t>(signals_.size()) - 1;
+}
+
+std::uint32_t Stg::add_transition(std::uint32_t signal, bool rising) {
+  XATPG_CHECK(signal < signals_.size());
+  transitions_.push_back(Transition{signal, rising, {}, {}});
+  return static_cast<std::uint32_t>(transitions_.size()) - 1;
+}
+
+std::uint32_t Stg::add_place(int tokens) {
+  XATPG_CHECK(tokens >= 0);
+  places_.push_back(tokens);
+  return static_cast<std::uint32_t>(places_.size()) - 1;
+}
+
+void Stg::connect_tp(std::uint32_t transition, std::uint32_t place) {
+  XATPG_CHECK(transition < transitions_.size() && place < places_.size());
+  transitions_[transition].post.push_back(place);
+}
+
+void Stg::connect_pt(std::uint32_t place, std::uint32_t transition) {
+  XATPG_CHECK(transition < transitions_.size() && place < places_.size());
+  transitions_[transition].pre.push_back(place);
+}
+
+void Stg::arc(std::uint32_t t_from, std::uint32_t t_to, int tokens) {
+  const std::uint32_t p = add_place(tokens);
+  connect_tp(t_from, p);
+  connect_pt(p, t_to);
+}
+
+std::string Stg::transition_label(std::uint32_t t) const {
+  const Transition& tr = transitions_[t];
+  return signals_[tr.signal].name + (tr.rising ? "+" : "-");
+}
+
+std::vector<std::uint32_t> StateGraph::quiescent_states() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t st = 0; st < num_states(); ++st) {
+    bool quiet = true;
+    for (std::uint32_t sig = 0; sig < stg->num_signals(); ++sig) {
+      if (stg->signal(sig).kind != SignalKind::Input && excited[st][sig]) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) out.push_back(st);
+  }
+  return out;
+}
+
+StateGraph expand_stg(const Stg& stg, std::size_t max_states) {
+  StateGraph sg;
+  sg.owner = std::make_shared<Stg>(stg);
+  sg.stg = sg.owner.get();
+
+  using Marking = std::vector<int>;
+  struct Key {
+    Marking marking;
+    std::vector<bool> code;
+    bool operator<(const Key& o) const {
+      if (marking != o.marking) return marking < o.marking;
+      return code < o.code;
+    }
+  };
+
+  Marking initial_marking(stg.num_places());
+  for (std::uint32_t p = 0; p < stg.num_places(); ++p)
+    initial_marking[p] = stg.initial_tokens(p);
+  std::vector<bool> initial_code(stg.num_signals());
+  for (std::uint32_t s = 0; s < stg.num_signals(); ++s)
+    initial_code[s] = stg.signal(s).initial_value;
+
+  std::map<Key, std::uint32_t> ids;
+  std::vector<Marking> markings;
+  const auto intern = [&](const Marking& m, const std::vector<bool>& code) {
+    const Key key{m, code};
+    auto it = ids.find(key);
+    if (it != ids.end()) return std::make_pair(it->second, false);
+    XATPG_CHECK_MSG(sg.codes.size() < max_states,
+                    "STG '" << stg.name() << "': state explosion (> "
+                            << max_states << " states)");
+    const auto id = static_cast<std::uint32_t>(sg.codes.size());
+    ids.emplace(key, id);
+    sg.codes.push_back(code);
+    sg.edges.emplace_back();
+    sg.excited.emplace_back(stg.num_signals(), false);
+    markings.push_back(m);
+    return std::make_pair(id, true);
+  };
+
+  sg.initial = intern(initial_marking, initial_code).first;
+  std::vector<std::uint32_t> worklist{sg.initial};
+  while (!worklist.empty()) {
+    const std::uint32_t id = worklist.back();
+    worklist.pop_back();
+    const Marking marking = markings[id];  // copy: vectors grow below
+    const std::vector<bool> code = sg.codes[id];
+    for (std::uint32_t t = 0; t < stg.num_transitions(); ++t) {
+      const Stg::Transition& tr = stg.transition(t);
+      bool enabled = !tr.pre.empty();
+      for (const std::uint32_t p : tr.pre)
+        enabled = enabled && marking[p] > 0;
+      if (!enabled) continue;
+      XATPG_CHECK_MSG(
+          code[tr.signal] != tr.rising,
+          "STG '" << stg.name() << "': inconsistent labeling — "
+                  << stg.transition_label(t) << " enabled in a state where "
+                  << stg.signal(tr.signal).name << " is already "
+                  << (tr.rising ? 1 : 0));
+      sg.excited[id][tr.signal] = true;
+
+      Marking next = marking;
+      for (const std::uint32_t p : tr.pre) --next[p];
+      for (const std::uint32_t p : tr.post) {
+        ++next[p];
+        XATPG_CHECK_MSG(next[p] <= 8, "STG '" << stg.name()
+                                              << "': place unbounded?");
+      }
+      std::vector<bool> next_code = code;
+      next_code[tr.signal] = tr.rising;
+      const auto [to, fresh] = intern(next, next_code);
+      sg.edges[id].push_back(StateGraph::Edge{t, to});
+      if (fresh) worklist.push_back(to);
+    }
+  }
+  return sg;
+}
+
+std::vector<std::string> csc_violations(const StateGraph& sg) {
+  std::vector<std::string> out;
+  std::map<std::vector<bool>, std::uint32_t> first_with_code;
+  for (std::uint32_t st = 0; st < sg.num_states(); ++st) {
+    auto [it, fresh] = first_with_code.emplace(sg.codes[st], st);
+    if (fresh) continue;
+    const std::uint32_t other = it->second;
+    for (std::uint32_t sig = 0; sig < sg.stg->num_signals(); ++sig) {
+      if (sg.stg->signal(sig).kind == SignalKind::Input) continue;
+      if (sg.excited[st][sig] != sg.excited[other][sig]) {
+        std::ostringstream os;
+        os << "CSC violation on signal '" << sg.stg->signal(sig).name
+           << "': states " << other << " and " << st
+           << " share a code but differ in excitation";
+        out.push_back(os.str());
+      }
+    }
+  }
+  return out;
+}
+
+std::string state_graph_to_dot(const StateGraph& sg) {
+  std::ostringstream os;
+  os << "digraph sg {\n  rankdir=LR;\n";
+  for (std::uint32_t st = 0; st < sg.num_states(); ++st) {
+    os << "  s" << st << " [label=\"";
+    for (const bool b : sg.codes[st]) os << (b ? '1' : '0');
+    os << "\"" << (st == sg.initial ? " shape=doublecircle" : "") << "];\n";
+  }
+  for (std::uint32_t st = 0; st < sg.num_states(); ++st)
+    for (const auto& e : sg.edges[st])
+      os << "  s" << st << " -> s" << e.to << " [label=\""
+         << sg.stg->transition_label(e.transition) << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xatpg

@@ -1,0 +1,109 @@
+// Signal Transition Graphs: the specification formalism from which both
+// benchmark suites are synthesized (the paper's circuits were produced by
+// Petrify and SIS "from the same specifications").
+//
+// An STG is a Petri net whose transitions are labeled with signal edges
+// (a+, a-).  The token game expands it into a State Graph (SG) whose states
+// carry binary signal codes; the SG is the input to src/synth, which derives
+// next-state functions and maps them to gate-level netlists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xatpg {
+
+enum class SignalKind : std::uint8_t { Input, Output, Internal };
+
+/// Labeled Petri net with single-weight arcs.
+class Stg {
+ public:
+  explicit Stg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declare a signal with its initial value; returns signal index.
+  std::uint32_t add_signal(const std::string& name, SignalKind kind,
+                           bool initial_value);
+
+  /// Add a transition labeled `signal`+/-; returns transition index.
+  std::uint32_t add_transition(std::uint32_t signal, bool rising);
+
+  /// Add an explicit place with an initial marking; returns place index.
+  std::uint32_t add_place(int tokens = 0);
+  void connect_tp(std::uint32_t transition, std::uint32_t place);
+  void connect_pt(std::uint32_t place, std::uint32_t transition);
+
+  /// Convenience: causal arc t_from -> t_to through a fresh implicit place.
+  void arc(std::uint32_t t_from, std::uint32_t t_to, int tokens = 0);
+
+  struct Signal {
+    std::string name;
+    SignalKind kind;
+    bool initial_value;
+  };
+  struct Transition {
+    std::uint32_t signal;
+    bool rising;
+    std::vector<std::uint32_t> pre, post;  // place indices
+  };
+
+  std::size_t num_signals() const { return signals_.size(); }
+  std::size_t num_transitions() const { return transitions_.size(); }
+  std::size_t num_places() const { return places_.size(); }
+  const Signal& signal(std::uint32_t s) const { return signals_[s]; }
+  const Transition& transition(std::uint32_t t) const { return transitions_[t]; }
+  int initial_tokens(std::uint32_t p) const { return places_[p]; }
+
+  /// Label like "req+" / "ack-".
+  std::string transition_label(std::uint32_t t) const;
+
+ private:
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<Transition> transitions_;
+  std::vector<int> places_;  // initial marking
+};
+
+/// Explicit state graph produced by the token game.  Owns a copy of its Stg
+/// so callers may pass temporaries to expand_stg.
+struct StateGraph {
+  struct Edge {
+    std::uint32_t transition;
+    std::uint32_t to;
+  };
+  std::shared_ptr<const Stg> owner;
+  const Stg* stg = nullptr;
+  std::vector<std::vector<bool>> codes;     ///< per state: signal values
+  std::vector<std::vector<Edge>> edges;     ///< per state
+  std::vector<std::vector<bool>> excited;   ///< per state, per signal
+  std::uint32_t initial = 0;
+
+  std::size_t num_states() const { return codes.size(); }
+
+  /// Next-state function value of `signal` in `state`: code XOR excited.
+  bool next_value(std::uint32_t state, std::uint32_t signal) const {
+    return codes[state][signal] ^ excited[state][signal];
+  }
+
+  /// States where no non-input signal is excited (candidate reset states).
+  std::vector<std::uint32_t> quiescent_states() const;
+};
+
+/// Expand the token game (BFS).  Throws CheckError on inconsistent labeling
+/// (a+ enabled while a=1), unbounded nets, or state explosion past the cap.
+StateGraph expand_stg(const Stg& stg, std::size_t max_states = 1u << 20);
+
+/// Complete State Coding check: two states with equal codes must agree on
+/// the excitation of every non-input signal.  Returns human-readable
+/// violation descriptions (empty = CSC holds and synthesis is possible).
+std::vector<std::string> csc_violations(const StateGraph& sg);
+
+/// Graphviz dump of the state graph.
+std::string state_graph_to_dot(const StateGraph& sg);
+
+}  // namespace xatpg

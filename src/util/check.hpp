@@ -1,0 +1,47 @@
+// Checked-invariant support for xatpg.
+//
+// XATPG_CHECK is an always-on invariant check (unlike assert, it survives
+// NDEBUG builds): EDA data structures are cheap to check and expensive to
+// debug when silently corrupted.  Failures throw xatpg::CheckError so tests
+// can assert on them and tools can report a clean diagnostic.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xatpg {
+
+/// Error thrown when an internal invariant or a precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace xatpg
+
+#define XATPG_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::xatpg::detail::check_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define XATPG_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream xatpg_os_;                                    \
+      xatpg_os_ << msg;                                                \
+      ::xatpg::detail::check_fail(#expr, __FILE__, __LINE__,           \
+                                  xatpg_os_.str());                    \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace xatpg {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::cerr << "[xatpg:" << level_name(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace xatpg

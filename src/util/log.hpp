@@ -1,0 +1,33 @@
+// Minimal leveled logging to stderr.  Default level is Warn so library code
+// is silent inside tests; tools raise it with set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xatpg {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+}  // namespace xatpg
+
+#define XATPG_LOG(level, stream_expr)                                \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::xatpg::log_level())) { \
+      std::ostringstream xatpg_log_os_;                               \
+      xatpg_log_os_ << stream_expr;                                   \
+      ::xatpg::detail::log_line(level, xatpg_log_os_.str());          \
+    }                                                                 \
+  } while (0)
+
+#define XATPG_DEBUG(s) XATPG_LOG(::xatpg::LogLevel::Debug, s)
+#define XATPG_INFO(s) XATPG_LOG(::xatpg::LogLevel::Info, s)
+#define XATPG_WARN(s) XATPG_LOG(::xatpg::LogLevel::Warn, s)
+#define XATPG_ERROR(s) XATPG_LOG(::xatpg::LogLevel::Error, s)

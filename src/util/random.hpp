@@ -1,0 +1,34 @@
+// Deterministic PRNG for reproducible ATPG runs.
+//
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+// re-implemented here so random TPG results are identical across platforms
+// and standard-library versions (std::mt19937 ordering of distributions is
+// not portable).
+#pragma once
+
+#include <cstdint>
+
+namespace xatpg {
+
+/// Small, fast, reproducible 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound) with Lemire rejection; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform boolean.
+  bool flip() { return (next() >> 63) != 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace xatpg

@@ -1,0 +1,344 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace xatpg {
+namespace {
+
+class BddTest : public ::testing::Test {
+ protected:
+  BddManager mgr{8};
+  Bdd v(std::uint32_t i) { return mgr.var(i); }
+};
+
+TEST_F(BddTest, Constants) {
+  EXPECT_TRUE(mgr.bdd_true().is_true());
+  EXPECT_TRUE(mgr.bdd_false().is_false());
+  EXPECT_NE(mgr.bdd_true(), mgr.bdd_false());
+}
+
+TEST_F(BddTest, VarCanonical) {
+  EXPECT_EQ(v(0), v(0));
+  EXPECT_NE(v(0), v(1));
+}
+
+TEST_F(BddTest, NotInvolution) {
+  const Bdd f = (v(0) & v(1)) | v(2);
+  EXPECT_EQ(!!f, f);
+}
+
+TEST_F(BddTest, NVarEqualsNotVar) { EXPECT_EQ(mgr.nvar(3), !v(3)); }
+
+TEST_F(BddTest, AndBasics) {
+  EXPECT_EQ(v(0) & mgr.bdd_true(), v(0));
+  EXPECT_EQ(v(0) & mgr.bdd_false(), mgr.bdd_false());
+  EXPECT_EQ(v(0) & v(0), v(0));
+  EXPECT_EQ(v(0) & !v(0), mgr.bdd_false());
+}
+
+TEST_F(BddTest, OrBasics) {
+  EXPECT_EQ(v(0) | mgr.bdd_true(), mgr.bdd_true());
+  EXPECT_EQ(v(0) | mgr.bdd_false(), v(0));
+  EXPECT_EQ(v(0) | !v(0), mgr.bdd_true());
+}
+
+TEST_F(BddTest, XorBasics) {
+  EXPECT_EQ(v(0) ^ v(0), mgr.bdd_false());
+  EXPECT_EQ(v(0) ^ !v(0), mgr.bdd_true());
+  EXPECT_EQ(v(0) ^ mgr.bdd_false(), v(0));
+  EXPECT_EQ(v(0) ^ mgr.bdd_true(), !v(0));
+}
+
+TEST_F(BddTest, DeMorgan) {
+  const Bdd lhs = !(v(0) & v(1));
+  const Bdd rhs = !v(0) | !v(1);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(BddTest, DistributivityRandomized) {
+  Rng rng(42);
+  auto random_fn = [&](int depth) {
+    auto rec = [&](auto&& self, int d) -> Bdd {
+      if (d == 0) return rng.flip() ? v(rng.below(8)) : !v(rng.below(8));
+      const Bdd a = self(self, d - 1);
+      const Bdd b = self(self, d - 1);
+      switch (rng.below(3)) {
+        case 0: return a & b;
+        case 1: return a | b;
+        default: return a ^ b;
+      }
+    };
+    return rec(rec, depth);
+  };
+  for (int i = 0; i < 20; ++i) {
+    const Bdd a = random_fn(3), b = random_fn(3), c = random_fn(3);
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+    EXPECT_EQ(a | (b & c), (a | b) & (a | c));
+  }
+}
+
+TEST_F(BddTest, IteMatchesDefinition) {
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const Bdd f = rng.flip() ? v(rng.below(8)) : (v(rng.below(8)) & v(rng.below(8)));
+    const Bdd g = v(rng.below(8)) | v(rng.below(8));
+    const Bdd h = v(rng.below(8)) ^ v(rng.below(8));
+    EXPECT_EQ(mgr.ite(f, g, h), (f & g) | (!f & h));
+  }
+}
+
+TEST_F(BddTest, EvalTruthTable) {
+  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> a(8, false);
+    a[0] = bits & 1;
+    a[1] = bits & 2;
+    a[2] = bits & 4;
+    const bool expected = (a[0] && a[1]) || (!a[0] && a[2]);
+    EXPECT_EQ(mgr.eval(f, a), expected);
+  }
+}
+
+TEST_F(BddTest, ExistsRemovesVariable) {
+  const Bdd f = v(0) & v(1);
+  const Bdd q = mgr.exists(f, mgr.make_cube({0}));
+  EXPECT_EQ(q, v(1));
+  const auto support = mgr.support_vars(q);
+  EXPECT_EQ(support, (std::vector<std::uint32_t>{1}));
+}
+
+TEST_F(BddTest, ExistsIsDisjunctionOfCofactors) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = (v(rng.below(4)) & v(4 + rng.below(4))) ^ v(rng.below(8));
+    const std::uint32_t x = rng.below(8);
+    const Bdd q = mgr.exists(f, mgr.make_cube({x}));
+    EXPECT_EQ(q, mgr.cofactor(f, x, false) | mgr.cofactor(f, x, true));
+  }
+}
+
+TEST_F(BddTest, ForallIsConjunctionOfCofactors) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = (v(rng.below(4)) | v(4 + rng.below(4))) ^ v(rng.below(8));
+    const std::uint32_t x = rng.below(8);
+    const Bdd q = mgr.forall(f, mgr.make_cube({x}));
+    EXPECT_EQ(q, mgr.cofactor(f, x, false) & mgr.cofactor(f, x, true));
+  }
+}
+
+TEST_F(BddTest, AndExistsEqualsExistsOfAnd) {
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const Bdd f = (v(rng.below(8)) & v(rng.below(8))) | v(rng.below(8));
+    const Bdd g = (v(rng.below(8)) | v(rng.below(8))) ^ v(rng.below(8));
+    const Bdd cube = mgr.make_cube({rng.below(8), rng.below(8)});
+    EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(f & g, cube));
+  }
+}
+
+TEST_F(BddTest, PermuteSwapsVariables) {
+  const Bdd f = v(0) & !v(1);
+  std::vector<std::uint32_t> perm(8);
+  for (std::uint32_t i = 0; i < 8; ++i) perm[i] = i;
+  perm[0] = 1;
+  perm[1] = 0;
+  EXPECT_EQ(mgr.permute(f, perm), v(1) & !v(0));
+}
+
+TEST_F(BddTest, PermuteShiftGroup) {
+  // Shift vars 0..3 onto 4..7 — the cur->next renaming pattern.
+  const Bdd f = (v(0) | v(2)) & v(3);
+  std::vector<std::uint32_t> perm{4, 5, 6, 7, 0, 1, 2, 3};
+  EXPECT_EQ(mgr.permute(f, perm), (v(4) | v(6)) & v(7));
+  // Applying the (involutive) permutation twice restores f.
+  EXPECT_EQ(mgr.permute(mgr.permute(f, perm), perm), f);
+}
+
+TEST_F(BddTest, ComposeSubstitutes) {
+  const Bdd f = v(0) & v(1);
+  const Bdd g = v(2) | v(3);
+  const Bdd composed = mgr.compose(f, 0, g);
+  EXPECT_EQ(composed, (v(2) | v(3)) & v(1));
+}
+
+TEST_F(BddTest, ComposeWithConstant) {
+  const Bdd f = v(0) ^ v(1);
+  EXPECT_EQ(mgr.compose(f, 0, mgr.bdd_true()), !v(1));
+  EXPECT_EQ(mgr.compose(f, 0, mgr.bdd_false()), v(1));
+}
+
+TEST_F(BddTest, CofactorFixesVariable) {
+  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  EXPECT_EQ(mgr.cofactor(f, 0, true), v(1));
+  EXPECT_EQ(mgr.cofactor(f, 0, false), v(2));
+}
+
+TEST_F(BddTest, SupportVars) {
+  const Bdd f = (v(1) & v(3)) | v(6);
+  EXPECT_EQ(mgr.support_vars(f), (std::vector<std::uint32_t>{1, 3, 6}));
+}
+
+TEST_F(BddTest, SatCount) {
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_true(), 8), 256.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_false(), 8), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(v(0), 8), 128.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(v(0) & v(1), 8), 64.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(v(0) | v(1), 8), 192.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(v(0) ^ v(7), 8), 128.0);
+}
+
+TEST_F(BddTest, MakeCubeAndMinterm) {
+  const Bdd cube = mgr.make_cube({0, 2});
+  EXPECT_EQ(cube, v(0) & v(2));
+  const Bdd m = mgr.make_minterm({0, 1, 2}, {true, false, true});
+  EXPECT_EQ(m, v(0) & !v(1) & v(2));
+}
+
+TEST_F(BddTest, PickMintermSatisfies) {
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    const Bdd f = (v(rng.below(8)) | v(rng.below(8))) & !v(rng.below(8));
+    if (f.is_false()) continue;
+    std::vector<std::uint32_t> all_vars;
+    for (std::uint32_t x = 0; x < 8; ++x) all_vars.push_back(x);
+    const auto picked = mgr.pick_minterm(f, all_vars);
+    std::vector<bool> assignment(8);
+    for (std::uint32_t x = 0; x < 8; ++x)
+      assignment[x] = picked[x] == Tri::One;  // DontCare -> 0 is fine
+    EXPECT_TRUE(mgr.eval(f, assignment));
+  }
+}
+
+TEST_F(BddTest, PickMintermOnZeroThrows) {
+  EXPECT_THROW(mgr.pick_minterm(mgr.bdd_false(), {0}), CheckError);
+}
+
+TEST_F(BddTest, Implies) {
+  EXPECT_TRUE((v(0) & v(1)).implies(v(0)));
+  EXPECT_FALSE(v(0).implies(v(0) & v(1)));
+  EXPECT_TRUE(mgr.bdd_false().implies(v(3)));
+}
+
+TEST_F(BddTest, NodeCount) {
+  EXPECT_EQ(mgr.bdd_true().node_count(), 1u);
+  EXPECT_EQ(v(0).node_count(), 3u);  // node + two terminals
+}
+
+TEST(BddManagerTest, GarbageCollectionKeepsLiveNodes) {
+  BddManager mgr(16);
+  Bdd keep = mgr.var(0) & mgr.var(1) & mgr.var(2);
+  {
+    // Create garbage.
+    for (int i = 0; i < 1000; ++i) {
+      Bdd junk = mgr.var(i % 16) ^ mgr.var((i + 5) % 16);
+      junk = junk | mgr.var((i + 3) % 16);
+    }
+  }
+  const std::size_t before = mgr.allocated_nodes();
+  const std::size_t freed = mgr.collect_garbage();
+  EXPECT_GT(freed, 0u);
+  EXPECT_LT(mgr.allocated_nodes(), before);
+  // The kept function still evaluates correctly after GC.
+  std::vector<bool> a(16, true);
+  EXPECT_TRUE(mgr.eval(keep, a));
+  a[1] = false;
+  EXPECT_FALSE(mgr.eval(keep, a));
+  // And operations on it still work (unique table was rebuilt correctly).
+  EXPECT_EQ(keep & mgr.var(0), keep);
+}
+
+TEST(BddManagerTest, HandlesSurviveManagerScopesIndependently) {
+  BddManager mgr(4);
+  Bdd a;
+  {
+    Bdd b = mgr.var(1) | mgr.var(2);
+    a = b;  // copy keeps refcount via registry
+  }
+  mgr.collect_garbage();
+  std::vector<bool> assignment{false, true, false, false};
+  EXPECT_TRUE(mgr.eval(a, assignment));
+}
+
+TEST(BddManagerTest, MoveSemantics) {
+  BddManager mgr(4);
+  Bdd a = mgr.var(0) & mgr.var(1);
+  Bdd b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): asserting state
+  EXPECT_TRUE(b.valid());
+  mgr.collect_garbage();
+  std::vector<bool> assignment{true, true, false, false};
+  EXPECT_TRUE(mgr.eval(b, assignment));
+}
+
+TEST(BddManagerTest, NewVarGrowsUniverse) {
+  BddManager mgr(0);
+  EXPECT_EQ(mgr.num_vars(), 0u);
+  const auto a = mgr.new_var();
+  const auto b = mgr.new_var();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_NE(mgr.var(a), mgr.var(b));
+}
+
+TEST(BddManagerTest, LargeRandomEquivalenceAgainstTruthTable) {
+  // Build random 10-var expressions and compare against brute-force
+  // evaluation on all 1024 assignments.
+  BddManager mgr(10);
+  Rng rng(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random expression tree as (op, lhs, rhs) over literals.
+    struct Node {
+      int op;  // 0=AND 1=OR 2=XOR, -1=literal
+      int var = 0;
+      bool neg = false;
+      int lhs = 0, rhs = 0;
+    };
+    std::vector<Node> nodes;
+    auto build = [&](auto&& self, int depth) -> int {
+      if (depth == 0) {
+        nodes.push_back({-1, static_cast<int>(rng.below(10)), rng.flip(), 0, 0});
+        return static_cast<int>(nodes.size()) - 1;
+      }
+      const int l = self(self, depth - 1);
+      const int r = self(self, depth - 1);
+      nodes.push_back({static_cast<int>(rng.below(3)), 0, false, l, r});
+      return static_cast<int>(nodes.size()) - 1;
+    };
+    const int root = build(build, 5);
+
+    auto to_bdd = [&](auto&& self, int n) -> Bdd {
+      const Node& nd = nodes[n];
+      if (nd.op == -1) {
+        Bdd lit = mgr.var(nd.var);
+        return nd.neg ? !lit : lit;
+      }
+      const Bdd l = self(self, nd.lhs);
+      const Bdd r = self(self, nd.rhs);
+      return nd.op == 0 ? (l & r) : nd.op == 1 ? (l | r) : (l ^ r);
+    };
+    const Bdd f = to_bdd(to_bdd, root);
+
+    auto eval_expr = [&](auto&& self, int n,
+                         const std::vector<bool>& a) -> bool {
+      const Node& nd = nodes[n];
+      if (nd.op == -1) return nd.neg ? !a[nd.var] : a[nd.var];
+      const bool l = self(self, nd.lhs, a);
+      const bool r = self(self, nd.rhs, a);
+      return nd.op == 0 ? (l && r) : nd.op == 1 ? (l || r) : (l != r);
+    };
+
+    for (int bits = 0; bits < 1024; ++bits) {
+      std::vector<bool> a(10);
+      for (int i = 0; i < 10; ++i) a[i] = (bits >> i) & 1;
+      ASSERT_EQ(mgr.eval(f, a), eval_expr(eval_expr, root, a))
+          << "trial " << trial << " assignment " << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xatpg

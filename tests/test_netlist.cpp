@@ -1,0 +1,350 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xatpg {
+namespace {
+
+// Reconstruction of the paper's Figure 1(a): a circuit exhibiting
+// non-confluence.  From stable state (A=0,B=1), applying AB=10 races a rising
+// `a` against a falling `b`; the pulse on c may or may not latch y.
+constexpr const char* kFig1a = R"(
+.model fig1a
+.inputs A B
+.outputs y
+.gate BUF a A
+.gate BUF b B
+.gate AND c a b
+.gate OR  y c y
+.end
+)";
+
+// Reconstruction of Figure 1(b): oscillation.  With B=0, raising A makes the
+// NAND/OR ring unstable (c-, d-, c+, d+ repeats); B=1 breaks the ring.
+constexpr const char* kFig1b = R"(
+.model fig1b
+.inputs A B
+.outputs d
+.gate BUF a A
+.gate BUF b B
+.gate NAND c a d
+.gate OR d c b
+.end
+)";
+
+TEST(Netlist, BuildByHand) {
+  Netlist n("toy");
+  const SignalId a = n.add_input("A");
+  const SignalId b = n.add_input("B");
+  const SignalId g = n.add_gate(GateType::And, "g", {a, b});
+  n.set_output(g);
+  n.validate();
+  EXPECT_EQ(n.num_signals(), 3u);
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_TRUE(n.is_input(a));
+  EXPECT_FALSE(n.is_input(g));
+  EXPECT_TRUE(n.is_output(g));
+  EXPECT_EQ(n.signal("g"), g);
+  EXPECT_EQ(n.num_pins(), 2u);
+}
+
+TEST(Netlist, DuplicateDefinitionThrows) {
+  Netlist n;
+  n.add_input("A");
+  EXPECT_THROW(n.add_input("A"), CheckError);
+}
+
+TEST(Netlist, UndefinedSignalFailsValidation) {
+  Netlist n;
+  const SignalId a = n.add_input("A");
+  const SignalId ghost = n.declare_signal("ghost");
+  n.add_gate(GateType::Or, "g", {a, ghost});
+  EXPECT_THROW(n.validate(), CheckError);
+}
+
+TEST(Netlist, FindSignal) {
+  Netlist n;
+  n.add_input("A");
+  EXPECT_TRUE(n.find_signal("A").has_value());
+  EXPECT_FALSE(n.find_signal("nope").has_value());
+  EXPECT_THROW(n.signal("nope"), CheckError);
+}
+
+TEST(Netlist, GateEvalBasics) {
+  Netlist n;
+  const SignalId a = n.add_input("A");
+  const SignalId b = n.add_input("B");
+  const SignalId g_and = n.add_gate(GateType::And, "g_and", {a, b});
+  const SignalId g_nor = n.add_gate(GateType::Nor, "g_nor", {a, b});
+  const SignalId g_xor = n.add_gate(GateType::Xor, "g_xor", {a, b});
+  const SignalId g_c = n.add_gate(GateType::Celem, "g_c", {a, b});
+  n.validate();
+
+  std::vector<bool> st(n.num_signals(), false);
+  auto set = [&](SignalId s, bool v) { st[s] = v; };
+
+  set(a, true);
+  set(b, false);
+  EXPECT_FALSE(n.eval_gate_bool(g_and, st));
+  EXPECT_FALSE(n.eval_gate_bool(g_nor, st));
+  EXPECT_TRUE(n.eval_gate_bool(g_xor, st));
+  // C-element holds its previous value on mixed inputs.
+  set(g_c, false);
+  EXPECT_FALSE(n.eval_gate_bool(g_c, st));
+  set(g_c, true);
+  EXPECT_TRUE(n.eval_gate_bool(g_c, st));
+  // All-1 sets, all-0 resets.
+  set(b, true);
+  set(g_c, false);
+  EXPECT_TRUE(n.eval_gate_bool(g_c, st));
+  set(a, false);
+  set(b, false);
+  set(g_c, true);
+  EXPECT_FALSE(n.eval_gate_bool(g_c, st));
+}
+
+TEST(Netlist, SopGateEval) {
+  Netlist n;
+  const SignalId a = n.add_input("A");
+  const SignalId b = n.add_input("B");
+  const SignalId c = n.add_input("C");
+  // f = A B' + C
+  Cover cover{Cube{{1, 0, -1}}, Cube{{-1, -1, 1}}};
+  const SignalId f = n.add_sop("f", {a, b, c}, cover);
+  n.validate();
+  std::vector<bool> st(n.num_signals(), false);
+  EXPECT_FALSE(n.eval_gate_bool(f, st));
+  st[a] = true;
+  EXPECT_TRUE(n.eval_gate_bool(f, st));
+  st[b] = true;
+  EXPECT_FALSE(n.eval_gate_bool(f, st));
+  st[c] = true;
+  EXPECT_TRUE(n.eval_gate_bool(f, st));
+}
+
+TEST(Netlist, GcGateEval) {
+  Netlist n;
+  const SignalId a = n.add_input("A");
+  const SignalId b = n.add_input("B");
+  // set = A B, reset = A' B'  (the C-element as a gC)
+  const SignalId q =
+      n.add_gc("q", {a, b}, Cover{Cube{{1, 1}}}, Cover{Cube{{0, 0}}});
+  n.validate();
+  std::vector<bool> st(n.num_signals(), false);
+  // Hold at 0 on mixed input.
+  st[a] = true;
+  EXPECT_FALSE(n.eval_gate_bool(q, st));
+  // Set.
+  st[b] = true;
+  EXPECT_TRUE(n.eval_gate_bool(q, st));
+  // Hold at 1.
+  st[q] = true;
+  st[b] = false;
+  EXPECT_TRUE(n.eval_gate_bool(q, st));
+  // Reset.
+  st[a] = false;
+  EXPECT_FALSE(n.eval_gate_bool(q, st));
+}
+
+TEST(Netlist, StableStateDetection) {
+  Netlist n = parse_xnl_string(kFig1a);
+  // A=0,B=1,a=0,b=1,c=0,y=0 is stable.
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("B")] = true;
+  st[n.signal("b")] = true;
+  EXPECT_TRUE(n.is_stable_state(st));
+  // Flipping input A makes buffer a excited.
+  st[n.signal("A")] = true;
+  EXPECT_FALSE(n.is_stable_state(st));
+  EXPECT_FALSE(n.is_gate_stable(n.signal("a"), st));
+}
+
+TEST(NetlistParser, ParsesFig1a) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  EXPECT_EQ(n.name(), "fig1a");
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.num_signals(), 6u);
+  EXPECT_EQ(n.gate(n.signal("c")).type, GateType::And);
+  // y reads its own output (feedback latch).
+  const Gate& y = n.gate(n.signal("y"));
+  ASSERT_EQ(y.fanins.size(), 2u);
+  EXPECT_EQ(y.fanins[1], n.signal("y"));
+}
+
+TEST(NetlistParser, RoundTripThroughWriter) {
+  const Netlist n1 = parse_xnl_string(kFig1b);
+  const std::string text = write_xnl_string(n1);
+  const Netlist n2 = parse_xnl_string(text);
+  EXPECT_EQ(n1.name(), n2.name());
+  EXPECT_EQ(n1.num_signals(), n2.num_signals());
+  EXPECT_EQ(n1.inputs().size(), n2.inputs().size());
+  EXPECT_EQ(n1.outputs().size(), n2.outputs().size());
+  // Signal ids may be renumbered by the writer's emission order; compare
+  // structure by name.
+  for (SignalId s1 = 0; s1 < n1.num_signals(); ++s1) {
+    const Gate& g1 = n1.gate(s1);
+    const SignalId s2 = n2.signal(g1.name);
+    const Gate& g2 = n2.gate(s2);
+    EXPECT_EQ(g1.type, g2.type);
+    ASSERT_EQ(g1.fanins.size(), g2.fanins.size());
+    for (std::size_t pin = 0; pin < g1.fanins.size(); ++pin)
+      EXPECT_EQ(n1.signal_name(g1.fanins[pin]), n2.signal_name(g2.fanins[pin]));
+  }
+}
+
+TEST(NetlistParser, SopAndGcRoundTrip) {
+  const char* text = R"(
+.model covers
+.inputs A B
+.outputs f q
+.sop f : A B : 11 0-
+.gc q : A B : 11 : 00
+.end
+)";
+  const Netlist n1 = parse_xnl_string(text);
+  const Netlist n2 = parse_xnl_string(write_xnl_string(n1));
+  EXPECT_EQ(n2.gate(n2.signal("f")).cover.size(), 2u);
+  EXPECT_EQ(n2.gate(n2.signal("q")).cover.size(), 1u);
+  EXPECT_EQ(n2.gate(n2.signal("q")).reset_cover.size(), 1u);
+  EXPECT_EQ(n1.gate(n1.signal("f")).cover, n2.gate(n2.signal("f")).cover);
+}
+
+TEST(NetlistParser, RejectsMalformedCube) {
+  const char* text = R"(
+.model bad
+.inputs A B
+.sop f : A B : 1-1
+.end
+)";
+  EXPECT_THROW(parse_xnl_string(text), CheckError);
+}
+
+TEST(NetlistParser, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_xnl_string(".bogus x\n"), CheckError);
+}
+
+TEST(NetlistParser, CommentsAndBlankLines) {
+  const char* text = R"(
+# a comment
+.model c   # trailing comment
+
+.inputs A
+.gate NOT n A
+.outputs n
+.end
+)";
+  const Netlist n = parse_xnl_string(text);
+  EXPECT_EQ(n.num_signals(), 2u);
+}
+
+TEST(BenchParser, ParsesIscasStyle) {
+  const char* text = R"(
+# small bench
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+n1 = NAND(a, b)
+f = NOT(n1)
+)";
+  const Netlist n = parse_bench_string(text);
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.gate(n.signal("n1")).type, GateType::Nand);
+  EXPECT_EQ(n.gate(n.signal("f")).type, GateType::Not);
+}
+
+TEST(BenchParser, RejectsDff) {
+  const char* text = "INPUT(a)\nq = DFF(a)\n";
+  EXPECT_THROW(parse_bench_string(text), CheckError);
+}
+
+TEST(NetlistAnalysis, Fanouts) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  const auto fo = n.fanouts();
+  // Signal c fans out to y's pin 0.
+  const auto& c_fo = fo[n.signal("c")];
+  ASSERT_EQ(c_fo.size(), 1u);
+  EXPECT_EQ(c_fo[0].gate, n.signal("y"));
+  EXPECT_EQ(c_fo[0].pin, 0u);
+}
+
+TEST(NetlistAnalysis, SccFindsFeedback) {
+  const Netlist n = parse_xnl_string(kFig1b);
+  std::uint32_t num_sccs = 0;
+  const auto comp = n.scc_ids(&num_sccs);
+  // c and d form a cycle -> same SCC; everything else is its own SCC.
+  EXPECT_EQ(comp[n.signal("c")], comp[n.signal("d")]);
+  EXPECT_NE(comp[n.signal("a")], comp[n.signal("c")]);
+  EXPECT_EQ(num_sccs, n.num_signals() - 1);
+}
+
+TEST(NetlistAnalysis, FeedbackArcsBreakAllCycles) {
+  for (const char* text : {kFig1a, kFig1b}) {
+    const Netlist n = parse_xnl_string(text);
+    const auto cuts = n.feedback_arcs();
+    EXPECT_FALSE(cuts.empty());
+    // topo_order succeeds iff the cut circuit is acyclic.
+    const auto order = n.topo_order(cuts);
+    EXPECT_EQ(order.size(), n.num_signals());
+  }
+}
+
+TEST(NetlistAnalysis, TopoOrderRespectsDependencies) {
+  Netlist n;
+  const SignalId a = n.add_input("A");
+  const SignalId x = n.add_gate(GateType::Not, "x", {a});
+  const SignalId y = n.add_gate(GateType::Not, "y", {x});
+  n.validate();
+  const auto order = n.topo_order({});
+  const auto pos = [&](SignalId s) {
+    return std::find(order.begin(), order.end(), s) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(x));
+  EXPECT_LT(pos(x), pos(y));
+}
+
+TEST(NetlistAnalysis, TopoOrderThrowsOnCycle) {
+  const Netlist n = parse_xnl_string(kFig1b);
+  EXPECT_THROW(n.topo_order({}), CheckError);
+}
+
+TEST(GateTypes, ParseNames) {
+  EXPECT_EQ(parse_gate_type("AND2"), GateType::And);
+  EXPECT_EQ(parse_gate_type("and"), GateType::And);
+  EXPECT_EQ(parse_gate_type("INV"), GateType::Not);
+  EXPECT_EQ(parse_gate_type("C"), GateType::Celem);
+  EXPECT_EQ(parse_gate_type("NOR3"), GateType::Nor);
+  EXPECT_THROW(parse_gate_type("FROB"), CheckError);
+}
+
+TEST(GateTypes, StateHolding) {
+  EXPECT_TRUE(is_state_holding(GateType::Celem));
+  EXPECT_TRUE(is_state_holding(GateType::Gc));
+  EXPECT_FALSE(is_state_holding(GateType::And));
+}
+
+TEST(GateTypes, MajGate) {
+  Netlist n;
+  const SignalId a = n.add_input("A");
+  const SignalId b = n.add_input("B");
+  const SignalId c = n.add_input("C");
+  const SignalId m = n.add_gate(GateType::Maj, "m", {a, b, c});
+  n.validate();
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> st(n.num_signals(), false);
+    st[a] = bits & 1;
+    st[b] = bits & 2;
+    st[c] = bits & 4;
+    const int ones = int(st[a]) + int(st[b]) + int(st[c]);
+    EXPECT_EQ(n.eval_gate_bool(m, st), ones >= 2);
+  }
+}
+
+}  // namespace
+}  // namespace xatpg

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "sim/explicit.hpp"
+#include "sim/parallel.hpp"
+#include "sim/ternary.hpp"
+
+namespace xatpg {
+namespace {
+
+constexpr const char* kFig1a = R"(
+.model fig1a
+.inputs A B
+.outputs y
+.gate BUF a A
+.gate BUF b B
+.gate AND c a b
+.gate OR  y c y
+.end
+)";
+
+constexpr const char* kFig1b = R"(
+.model fig1b
+.inputs A B
+.outputs d
+.gate BUF a A
+.gate BUF b B
+.gate NAND c a d
+.gate OR d c b
+.end
+)";
+
+// A hazard-free combinational circuit: two cascaded inverters.
+constexpr const char* kChain = R"(
+.model chain
+.inputs A
+.outputs y
+.gate NOT n A
+.gate NOT y n
+.end
+)";
+
+std::vector<bool> fig1a_stable_01(const Netlist& n) {
+  // A=0,B=1,a=0,b=1,c=0,y=0 — the paper's initial stable state shape.
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("B")] = true;
+  st[n.signal("b")] = true;
+  return st;
+}
+
+std::vector<bool> fig1b_stable_00(const Netlist& n) {
+  // A=0,B=0,a=0,b=0,c=1,d=1 — stable ring.
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("c")] = true;
+  st[n.signal("d")] = true;
+  return st;
+}
+
+TEST(TernaryAlgebra, TruthTables) {
+  using T = Ternary;
+  EXPECT_EQ(ternary_and(T::V1, T::V1), T::V1);
+  EXPECT_EQ(ternary_and(T::V0, T::X), T::V0);  // 0 dominates
+  EXPECT_EQ(ternary_and(T::X, T::V1), T::X);
+  EXPECT_EQ(ternary_or(T::V1, T::X), T::V1);  // 1 dominates
+  EXPECT_EQ(ternary_or(T::V0, T::X), T::X);
+  EXPECT_EQ(ternary_not(T::X), T::X);
+  EXPECT_EQ(ternary_not(T::V0), T::V1);
+  EXPECT_EQ(ternary_lub(T::V0, T::V0), T::V0);
+  EXPECT_EQ(ternary_lub(T::V0, T::V1), T::X);
+  EXPECT_EQ(ternary_lub(T::X, T::V1), T::X);
+}
+
+TEST(TernarySimTest, StableInputNoChangeStaysStable) {
+  const Netlist n = parse_xnl_string(kChain);
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("n")] = true;  // A=0 -> n=1 -> y=0
+  ASSERT_TRUE(n.is_stable_state(st));
+  TernarySim sim(n);
+  const auto result = sim.settle(st, {false});
+  EXPECT_TRUE(result.confluent);
+  EXPECT_EQ(result.final_state(), st);
+}
+
+TEST(TernarySimTest, CombinationalChainSettles) {
+  const Netlist n = parse_xnl_string(kChain);
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("n")] = true;
+  TernarySim sim(n);
+  const auto result = sim.settle(st, {true});
+  ASSERT_TRUE(result.confluent);
+  const auto fin = result.final_state();
+  EXPECT_TRUE(fin[n.signal("A")]);
+  EXPECT_FALSE(fin[n.signal("n")]);
+  EXPECT_TRUE(fin[n.signal("y")]);
+}
+
+TEST(TernarySimTest, DetectsNonConfluenceInFig1a) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  TernarySim sim(n);
+  // Apply AB = 10: a rising races b falling; y may or may not latch.
+  const auto result = sim.settle(fig1a_stable_01(n), {true, false});
+  EXPECT_FALSE(result.confluent);
+  // The racing signal y must be marked unknown.
+  EXPECT_EQ(result.state[n.signal("y")], Ternary::X);
+}
+
+TEST(TernarySimTest, Fig1aSafeVectorIsConfluent) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  TernarySim sim(n);
+  // Raising only A (B stays 1) makes c rise and latch y deterministically.
+  const auto result = sim.settle(fig1a_stable_01(n), {true, true});
+  ASSERT_TRUE(result.confluent);
+  const auto fin = result.final_state();
+  EXPECT_TRUE(fin[n.signal("c")]);
+  EXPECT_TRUE(fin[n.signal("y")]);
+}
+
+TEST(TernarySimTest, DetectsOscillationInFig1b) {
+  const Netlist n = parse_xnl_string(kFig1b);
+  TernarySim sim(n);
+  // Raising A with B=0 starts the c/d oscillation.
+  const auto result = sim.settle(fig1b_stable_00(n), {true, false});
+  EXPECT_FALSE(result.confluent);
+  EXPECT_EQ(result.state[n.signal("c")], Ternary::X);
+  EXPECT_EQ(result.state[n.signal("d")], Ternary::X);
+}
+
+TEST(TernarySimTest, Fig1bBreakingTheRingIsConfluent) {
+  const Netlist n = parse_xnl_string(kFig1b);
+  TernarySim sim(n);
+  // Raising A and B together: d is held at 1 by b, c falls to !a = 0.
+  const auto result = sim.settle(fig1b_stable_00(n), {true, true});
+  ASSERT_TRUE(result.confluent);
+  const auto fin = result.final_state();
+  EXPECT_FALSE(fin[n.signal("c")]);
+  EXPECT_TRUE(fin[n.signal("d")]);
+}
+
+TEST(TernarySimTest, SettleToStableHelper) {
+  const Netlist n = parse_xnl_string(kChain);
+  std::vector<bool> st(n.num_signals(), false);  // A=0,n=0,y=0: n excited
+  EXPECT_TRUE(settle_to_stable(n, st));
+  EXPECT_TRUE(st[n.signal("n")]);
+  EXPECT_FALSE(st[n.signal("y")]);
+  EXPECT_TRUE(n.is_stable_state(st));
+}
+
+// --- explicit exploration (the exact oracle) --------------------------------
+
+TEST(ExplicitExplore, ConfluentVectorHasUniqueOutcome) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  const auto result =
+      explore_settling(n, fig1a_stable_01(n), {true, true}, 20);
+  EXPECT_TRUE(result.confluent());
+  EXPECT_EQ(result.stable_states.size(), 1u);
+  EXPECT_FALSE(result.exceeded_bound);
+}
+
+TEST(ExplicitExplore, RaceYieldsTwoStableStates) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  const auto result =
+      explore_settling(n, fig1a_stable_01(n), {true, false}, 20);
+  EXPECT_FALSE(result.confluent());
+  // Exactly the two settlements the paper describes: y latched or not.
+  EXPECT_EQ(result.stable_states.size(), 2u);
+  bool saw_latched = false, saw_unlatched = false;
+  for (const auto& st : result.stable_states) {
+    if (st[n.signal("y")]) saw_latched = true;
+    if (!st[n.signal("y")]) saw_unlatched = true;
+  }
+  EXPECT_TRUE(saw_latched);
+  EXPECT_TRUE(saw_unlatched);
+}
+
+TEST(ExplicitExplore, OscillationExceedsBound) {
+  const Netlist n = parse_xnl_string(kFig1b);
+  const auto result =
+      explore_settling(n, fig1b_stable_00(n), {true, false}, 30);
+  EXPECT_TRUE(result.exceeded_bound);
+  EXPECT_FALSE(result.confluent());
+}
+
+TEST(ExplicitExplore, TernaryVsExplicitRelationship) {
+  // Properties relating the conservative ternary analysis to the exact
+  // bounded-interleaving explorer:
+  //  (1) a genuine race (>= 2 distinct stable outcomes among interleavings)
+  //      must be flagged by ternary simulation;
+  //  (2) when ternary simulation resolves to a definite state, that state is
+  //      the unique stable outcome of the exact explorer.
+  // Note the explorer may additionally report exceeded_bound on *transient*
+  // oscillations (unfair interleavings postponing an excited gate forever);
+  // ternary simulation, which models finite gate delays, legitimately
+  // resolves those — this is exactly the §2 "transient oscillation"
+  // distinction, and why the CSSG (not ternary sim) is the vector-validity
+  // arbiter in the ATPG flow.
+  for (const char* text : {kFig1a, kFig1b, kChain}) {
+    const Netlist n = parse_xnl_string(text);
+    TernarySim sim(n);
+    const std::size_t m = n.inputs().size();
+    const auto stables = explicit_stable_reachable(
+        n, [&] {
+          std::vector<bool> st(n.num_signals(), false);
+          if (std::string(n.name()) == "fig1a") return fig1a_stable_01(n);
+          if (std::string(n.name()) == "fig1b") return fig1b_stable_00(n);
+          st[n.signal("n")] = true;
+          return st;
+        }(), 30);
+    for (const auto& st : stables) {
+      for (std::uint64_t bits = 0; bits < (1u << m); ++bits) {
+        std::vector<bool> vec(m);
+        bool same = true;
+        for (std::size_t i = 0; i < m; ++i) {
+          vec[i] = (bits >> i) & 1;
+          same = same && (vec[i] == st[n.inputs()[i]]);
+        }
+        if (same) continue;
+        const auto ternary = sim.settle(st, vec);
+        const auto exact = explore_settling(n, st, vec, 50);
+        if (exact.stable_states.size() >= 2) {
+          EXPECT_FALSE(ternary.confluent)
+              << n.name() << ": ternary missed a real race";
+        }
+        if (ternary.confluent) {
+          ASSERT_EQ(exact.stable_states.size(), 1u)
+              << n.name() << ": ternary definite but outcomes not unique";
+          EXPECT_EQ(*exact.stable_states.begin(), ternary.final_state());
+        }
+      }
+    }
+  }
+}
+
+TEST(ExplicitExplore, StableReachableContainsReset) {
+  const Netlist n = parse_xnl_string(kChain);
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("n")] = true;
+  const auto states = explicit_stable_reachable(n, st, 20);
+  EXPECT_TRUE(states.count(st));
+  EXPECT_EQ(states.size(), 2u);  // A=0 and A=1 settlements
+}
+
+// --- parallel two-rail simulation -------------------------------------------
+
+TEST(RailAlgebra, LaneRoundTrip) {
+  Rail r = rail_all(Ternary::V0);
+  set_rail_lane(r, 7, Ternary::V1);
+  set_rail_lane(r, 9, Ternary::X);
+  EXPECT_EQ(rail_lane(r, 0), Ternary::V0);
+  EXPECT_EQ(rail_lane(r, 7), Ternary::V1);
+  EXPECT_EQ(rail_lane(r, 9), Ternary::X);
+}
+
+TEST(RailAlgebra, MatchesScalarTernary) {
+  const Ternary vals[] = {Ternary::V0, Ternary::V1, Ternary::X};
+  RailOps ops;
+  for (const Ternary a : vals)
+    for (const Ternary b : vals) {
+      Rail ra = rail_all(a), rb = rail_all(b);
+      EXPECT_EQ(rail_lane(ops.and_(ra, rb), 13), ternary_and(a, b));
+      EXPECT_EQ(rail_lane(ops.or_(ra, rb), 13), ternary_or(a, b));
+      EXPECT_EQ(rail_lane(ops.not_(ra), 13), ternary_not(a));
+    }
+}
+
+TEST(ParallelSim, FaultFreeLaneMatchesScalar) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  TernarySim scalar(n);
+  ParallelTernarySim par(n, {});
+  const auto st = fig1a_stable_01(n);
+  const std::vector<bool> vec{true, true};
+  const auto scalar_result = scalar.settle(st, vec);
+  par.load_state(st);
+  par.settle(vec);
+  for (SignalId s = 0; s < n.num_signals(); ++s)
+    EXPECT_EQ(par.value(s, 0), scalar_result.state[s]) << "signal " << s;
+}
+
+TEST(ParallelSim, OutputStuckAtDetected) {
+  const Netlist n = parse_xnl_string(kChain);
+  // Lane 1: y stuck-at-0.
+  LaneInjection inj{LaneInjection::Site::SignalOutput, n.signal("y"), 0, false,
+                    1ull << 1};
+  ParallelTernarySim par(n, {inj});
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("n")] = true;
+  par.load_state(st);
+  par.settle({true});  // good: y -> 1; faulty: y stuck 0
+  EXPECT_EQ(par.value(n.signal("y"), 0), Ternary::V1);
+  EXPECT_EQ(par.value(n.signal("y"), 1), Ternary::V0);
+  EXPECT_EQ(par.lanes_definite(n.signal("y"), true) & 1ull, 1ull);
+  EXPECT_EQ(par.lanes_definite(n.signal("y"), false) & 2ull, 2ull);
+}
+
+TEST(ParallelSim, InputPinStuckAt) {
+  const Netlist n = parse_xnl_string(kChain);
+  // Lane 3: the pin n->y (pin 0 of gate y) stuck-at-1, so y = NOT(1) = 0.
+  LaneInjection inj{LaneInjection::Site::GatePin, n.signal("y"), 0, true,
+                    1ull << 3};
+  ParallelTernarySim par(n, {inj});
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("n")] = true;
+  par.load_state(st);
+  par.settle({true});  // good circuit: n=0, y=1; faulty: y=0
+  EXPECT_EQ(par.value(n.signal("y"), 0), Ternary::V1);
+  EXPECT_EQ(par.value(n.signal("y"), 3), Ternary::V0);
+}
+
+TEST(ParallelSim, RaceMarksLaneUnknown) {
+  const Netlist n = parse_xnl_string(kFig1a);
+  ParallelTernarySim par(n, {});
+  par.load_state(fig1a_stable_01(n));
+  par.settle({true, false});  // the racing vector
+  EXPECT_NE(par.lanes_with_unknown() & 1ull, 0ull);
+}
+
+TEST(ParallelSim, SixtyFourLanesIndependent) {
+  const Netlist n = parse_xnl_string(kChain);
+  // Odd lanes: y output stuck at 0.
+  std::uint64_t odd = 0;
+  for (int lane = 1; lane < 64; lane += 2) odd |= 1ull << lane;
+  LaneInjection inj{LaneInjection::Site::SignalOutput, n.signal("y"), 0, false,
+                    odd};
+  ParallelTernarySim par(n, {inj});
+  std::vector<bool> st(n.num_signals(), false);
+  st[n.signal("n")] = true;
+  par.load_state(st);
+  par.settle({true});
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const Ternary expected = (lane % 2) ? Ternary::V0 : Ternary::V1;
+    ASSERT_EQ(par.value(n.signal("y"), lane), expected) << "lane " << lane;
+  }
+}
+
+TEST(ParallelSim, InjectionValidation) {
+  const Netlist n = parse_xnl_string(kChain);
+  LaneInjection bad{LaneInjection::Site::GatePin, n.signal("y"), 5, true, 1};
+  EXPECT_THROW(ParallelTernarySim(n, {bad}), CheckError);
+}
+
+}  // namespace
+}  // namespace xatpg

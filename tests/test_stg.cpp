@@ -1,0 +1,164 @@
+#include "stg/stg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace xatpg {
+namespace {
+
+/// C-element STG: (r0+ || r1+) -> a+ -> (r0- || r1-) -> a- -> repeat.
+Stg celem_stg() {
+  Stg stg("celem");
+  const auto r0 = stg.add_signal("r0", SignalKind::Input, false);
+  const auto r1 = stg.add_signal("r1", SignalKind::Input, false);
+  const auto a = stg.add_signal("a", SignalKind::Output, false);
+  const auto r0p = stg.add_transition(r0, true);
+  const auto r0m = stg.add_transition(r0, false);
+  const auto r1p = stg.add_transition(r1, true);
+  const auto r1m = stg.add_transition(r1, false);
+  const auto ap = stg.add_transition(a, true);
+  const auto am = stg.add_transition(a, false);
+  stg.arc(r0p, ap);
+  stg.arc(r1p, ap);
+  stg.arc(ap, r0m);
+  stg.arc(ap, r1m);
+  stg.arc(r0m, am);
+  stg.arc(r1m, am);
+  stg.arc(am, r0p, 1);
+  stg.arc(am, r1p, 1);
+  return stg;
+}
+
+TEST(Stg, Construction) {
+  const Stg stg = celem_stg();
+  EXPECT_EQ(stg.num_signals(), 3u);
+  EXPECT_EQ(stg.num_transitions(), 6u);
+  EXPECT_EQ(stg.num_places(), 8u);
+  EXPECT_EQ(stg.transition_label(0), "r0+");
+  EXPECT_EQ(stg.transition_label(1), "r0-");
+}
+
+TEST(Stg, DuplicateSignalNameThrows) {
+  Stg stg("x");
+  stg.add_signal("a", SignalKind::Input, false);
+  EXPECT_THROW(stg.add_signal("a", SignalKind::Output, false), CheckError);
+}
+
+TEST(StgExpand, CelemStateGraph) {
+  const Stg stg = celem_stg();
+  const StateGraph sg = expand_stg(stg);
+  // States: 00/0, 10/0, 01/0, 11/0, 11/1, 01/1, 10/1, 00/1 = 8.
+  EXPECT_EQ(sg.num_states(), 8u);
+  // Initial state: everything 0, both r+ enabled, a not excited.
+  EXPECT_EQ(sg.codes[sg.initial], (std::vector<bool>{false, false, false}));
+  EXPECT_TRUE(sg.excited[sg.initial][0]);
+  EXPECT_TRUE(sg.excited[sg.initial][1]);
+  EXPECT_FALSE(sg.excited[sg.initial][2]);
+}
+
+TEST(StgExpand, NextValueFollowsExcitation) {
+  const Stg stg = celem_stg();
+  const StateGraph sg = expand_stg(stg);
+  for (std::uint32_t st = 0; st < sg.num_states(); ++st) {
+    const bool r0 = sg.codes[st][0];
+    const bool r1 = sg.codes[st][1];
+    const bool a = sg.codes[st][2];
+    // The C-element next-state function: a' = r0 r1 + a (r0 + r1).
+    const bool expected = (r0 && r1) || (a && (r0 || r1));
+    EXPECT_EQ(sg.next_value(st, 2), expected) << "state " << st;
+  }
+}
+
+TEST(StgExpand, QuiescentStates) {
+  const Stg stg = celem_stg();
+  const StateGraph sg = expand_stg(stg);
+  // Output a is excited only in states 11/0 and 00/1: 6 quiescent states.
+  EXPECT_EQ(sg.quiescent_states().size(), 6u);
+}
+
+TEST(StgExpand, InconsistentStgThrows) {
+  Stg stg("bad");
+  const auto a = stg.add_signal("a", SignalKind::Input, false);
+  const auto ap1 = stg.add_transition(a, true);
+  const auto ap2 = stg.add_transition(a, true);  // a+ twice in a row
+  stg.arc(ap1, ap2, 0);
+  stg.arc(ap2, ap1, 1);
+  EXPECT_THROW(expand_stg(stg), CheckError);
+}
+
+TEST(StgExpand, StateLimitEnforced) {
+  const Stg stg = celem_stg();
+  EXPECT_THROW(expand_stg(stg, 3), CheckError);
+}
+
+TEST(Csc, CelemHasCsc) {
+  const StateGraph sg = expand_stg(celem_stg());
+  EXPECT_TRUE(csc_violations(sg).empty());
+}
+
+TEST(Csc, DetectsViolation) {
+  // Two handshakes sharing no state signal: after (r+, a+, r-), the code
+  // returns to a state equal to a later one but with different output
+  // excitation.  Build the classic USC/CSC failure: x controls nothing.
+  Stg stg("csc-broken");
+  const auto r = stg.add_signal("r", SignalKind::Input, false);
+  const auto a = stg.add_signal("a", SignalKind::Output, false);
+  // Ring: r+ -> a+ -> r- -> a- -> r+ ... but with an extra internal round:
+  // a second a+/a- pair gated only by places (same codes, different
+  // excitation).
+  const auto rp = stg.add_transition(r, true);
+  const auto ap = stg.add_transition(a, true);
+  const auto rm = stg.add_transition(r, false);
+  const auto am = stg.add_transition(a, false);
+  const auto ap2 = stg.add_transition(a, true);
+  const auto am2 = stg.add_transition(a, false);
+  stg.arc(rp, ap);
+  stg.arc(ap, rm);
+  stg.arc(rm, am);
+  stg.arc(am, ap2);   // a rises again while r stays 0...
+  stg.arc(ap2, am2);  // ...and falls again
+  stg.arc(am2, rp, 1);
+  const StateGraph sg = expand_stg(stg);
+  // State after am (code r=0,a=0, a+ excited) collides with the initial
+  // state (code r=0,a=0, only r+ excited): CSC violation on signal a.
+  EXPECT_FALSE(csc_violations(sg).empty());
+}
+
+TEST(StgDot, ProducesGraphviz) {
+  const StateGraph sg = expand_stg(celem_stg());
+  const std::string dot = state_graph_to_dot(sg);
+  EXPECT_NE(dot.find("digraph sg"), std::string::npos);
+  EXPECT_NE(dot.find("r0+"), std::string::npos);
+}
+
+TEST(StgExpand, ConcurrencyDiamond) {
+  // Fork into two concurrent transitions: expect the diamond (4 states from
+  // the fork point, not 3).
+  Stg stg("diamond");
+  const auto x = stg.add_signal("x", SignalKind::Input, false);
+  const auto u = stg.add_signal("u", SignalKind::Output, false);
+  const auto v = stg.add_signal("v", SignalKind::Output, false);
+  const auto xp = stg.add_transition(x, true);
+  const auto up = stg.add_transition(u, true);
+  const auto vp = stg.add_transition(v, true);
+  const auto xm = stg.add_transition(x, false);
+  const auto um = stg.add_transition(u, false);
+  const auto vm = stg.add_transition(v, false);
+  stg.arc(xp, up);
+  stg.arc(xp, vp);
+  stg.arc(up, xm);
+  stg.arc(vp, xm);
+  stg.arc(xm, um);
+  stg.arc(xm, vm);
+  stg.arc(um, xp, 1);
+  stg.arc(vm, xp, 1);
+  const StateGraph sg = expand_stg(stg);
+  // Cycle: 000 -> 100 -> {110, 101} -> 111 -> 011 -> {001, 010} -> 000:
+  // 8 distinct states.
+  EXPECT_EQ(sg.num_states(), 8u);
+  EXPECT_TRUE(csc_violations(sg).empty());
+}
+
+}  // namespace
+}  // namespace xatpg

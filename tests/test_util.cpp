@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/strings.hpp"
+
+namespace xatpg {
+namespace {
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(XATPG_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(XATPG_CHECK(1 + 1 == 3), CheckError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    XATPG_CHECK_MSG(false, "custom diagnostic " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom diagnostic 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next() != b.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), CheckError);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Strings, SplitWs) {
+  const auto tokens = split_ws("  foo bar\tbaz  ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "foo");
+  EXPECT_EQ(tokens[1], "bar");
+  EXPECT_EQ(tokens[2], "baz");
+}
+
+TEST(Strings, SplitWsEmpty) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a::b:", ':');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(a)", "INPUT("));
+  EXPECT_FALSE(starts_with("IN", "INPUT("));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace xatpg
