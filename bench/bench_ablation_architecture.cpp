@@ -21,7 +21,7 @@ int main() {
   std::printf("%-14s | %6s %6s %6s | %6s %6s %6s\n", "example", "pins",
               "cov", "cov%", "pins", "cov", "cov%");
   std::printf("---------------+----------------------+--------------------\n");
-  for (const std::string& name :
+  for (const char* name :
        {"rpdft", "dff", "chu150", "converta", "rcv-setup", "ebergen",
         "vbe5b", "nowick"}) {
     const Stg stg = benchmark_stg(name);
@@ -48,7 +48,7 @@ int main() {
     const Cell a = run_arch(SiArchitecture::AtomicGc);
     const Cell b = run_arch(SiArchitecture::StandardC);
     std::printf("%-14s | %6zu %6zu %5.1f%% | %6zu %6zu %5.1f%%\n",
-                name.c_str(), a.pins, a.cov,
+                name, a.pins, a.cov,
                 100.0 * static_cast<double>(a.cov) /
                     static_cast<double>(a.tot),
                 b.pins, b.cov,

@@ -39,7 +39,7 @@ int main() {
                 ours.stats.covered, "0");
   };
 
-  for (const std::string& name :
+  for (const char* name :
        {"rpdft", "dff", "chu150", "converta", "rcv-setup", "vbe5b",
         "ebergen", "nowick"}) {
     const SynthResult synth =

@@ -3,6 +3,9 @@
 // simulation, and explicit race exploration.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "bdd/bdd.hpp"
 #include "benchmarks/benchmarks.hpp"
 #include "sgraph/cssg.hpp"
@@ -110,4 +113,24 @@ BENCHMARK(BM_CssgConstruction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but with a `--smoke` flag that caps every benchmark
+// at a minimal measurement time so `cmake --build build --target bench_smoke`
+// can sanity-run the whole suite in well under a second.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      args.push_back(argv[i]);
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time_flag);
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

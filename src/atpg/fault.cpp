@@ -123,7 +123,7 @@ std::vector<bool> map_input_vector(const Netlist& good, const Netlist& faulty,
   return out;
 }
 
-std::vector<bool> fault_initial_state(const Netlist& netlist,
+std::vector<bool> fault_initial_state(const Netlist& /*netlist*/,
                                       const Fault& fault,
                                       const std::vector<bool>& good_state) {
   std::vector<bool> state = good_state;

@@ -7,6 +7,7 @@
 #include "atpg/fault.hpp"
 #include "atpg/fault_sim.hpp"
 #include "benchmarks/benchmarks.hpp"
+#include "fixtures.hpp"
 #include "sim/explicit.hpp"
 
 namespace xatpg {
@@ -63,16 +64,9 @@ TEST(FaultModel, ApplyInputStuck) {
 class ChainFixture : public ::testing::Test {
  protected:
   ChainFixture() {
-    netlist = parse_xnl_string(R"(
-.model chain
-.inputs A
-.outputs y
-.gate NOT n A
-.gate NOT y n
-.end
-)");
-    reset.assign(netlist.num_signals(), false);
-    reset[netlist.signal("n")] = true;
+    fixtures::Circuit fix = fixtures::chain();
+    netlist = std::move(fix.netlist);
+    reset = std::move(fix.reset);
   }
   Netlist netlist;
   std::vector<bool> reset;
@@ -108,16 +102,9 @@ TEST_F(ChainFixture, RestartIsSticky) {
 }
 
 TEST(TernaryScreen, SoundOnChain) {
-  const Netlist n = parse_xnl_string(R"(
-.model chain
-.inputs A
-.outputs y
-.gate NOT n A
-.gate NOT y n
-.end
-)");
-  std::vector<bool> reset(n.num_signals(), false);
-  reset[n.signal("n")] = true;
+  const fixtures::Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
+  const std::vector<bool>& reset = fix.reset;
   const std::vector<Fault> faults = output_stuck_faults(n);
   const auto detected =
       ternary_screen(n, reset, faults, {{true}, {false}});
@@ -256,7 +243,7 @@ TEST(EngineRedundant, BoundedDelayRedundantCircuitHasUndetectedFaults) {
 TEST(Classifier, SoundOnSpeedIndependentSuite) {
   // Anything the classifier proves redundant must indeed be undetected by
   // the full (complete-within-caps) search.
-  for (const std::string& name : {"rpdft", "chu150", "vbe5b", "ebergen"}) {
+  for (const char* name : {"rpdft", "chu150", "vbe5b", "ebergen"}) {
     auto synth = benchmark_circuit(name, SynthStyle::SpeedIndependent);
     AtpgOptions options;
     options.random_budget = 24;
@@ -265,9 +252,10 @@ TEST(Classifier, SoundOnSpeedIndependentSuite) {
     const auto faults = input_stuck_faults(synth.netlist);
     const auto full = engine.run(faults);
     for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (engine.provably_redundant(faults[i]))
+      if (engine.provably_redundant(faults[i])) {
         EXPECT_EQ(full.outcomes[i].covered_by, CoveredBy::None)
             << name << " " << faults[i].describe(synth.netlist);
+      }
     }
   }
 }

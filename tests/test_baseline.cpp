@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/benchmarks.hpp"
+#include "fixtures.hpp"
 #include "sim/explicit.hpp"
 
 namespace xatpg {
@@ -30,17 +31,9 @@ TEST(VffModelTest, StateHoldingGatesGetBits) {
 }
 
 TEST(UnitDelay, SettlesCombinationalChain) {
-  const Netlist n = parse_xnl_string(R"(
-.model chain
-.inputs A
-.outputs y
-.gate NOT n A
-.gate NOT y n
-.end
-)");
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;
-  const auto settled = unit_delay_settle(n, st, {true});
+  const fixtures::Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
+  const auto settled = unit_delay_settle(n, fix.reset, {true});
   ASSERT_TRUE(settled.has_value());
   EXPECT_TRUE((*settled)[n.signal("y")]);
 }

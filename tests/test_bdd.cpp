@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fixtures.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
 
@@ -54,24 +55,14 @@ TEST_F(BddTest, XorBasics) {
 
 TEST_F(BddTest, DeMorgan) {
   const Bdd lhs = !(v(0) & v(1));
-  const Bdd rhs = !v(0) | !v(1);
+  const Bdd rhs = (!v(0)) | (!v(1));
   EXPECT_EQ(lhs, rhs);
 }
 
 TEST_F(BddTest, DistributivityRandomized) {
   Rng rng(42);
   auto random_fn = [&](int depth) {
-    auto rec = [&](auto&& self, int d) -> Bdd {
-      if (d == 0) return rng.flip() ? v(rng.below(8)) : !v(rng.below(8));
-      const Bdd a = self(self, d - 1);
-      const Bdd b = self(self, d - 1);
-      switch (rng.below(3)) {
-        case 0: return a & b;
-        case 1: return a | b;
-        default: return a ^ b;
-      }
-    };
-    return rec(rec, depth);
+    return fixtures::random_bdd(mgr, rng, depth, 8);
   };
   for (int i = 0; i < 20; ++i) {
     const Bdd a = random_fn(3), b = random_fn(3), c = random_fn(3);
@@ -86,12 +77,12 @@ TEST_F(BddTest, IteMatchesDefinition) {
     const Bdd f = rng.flip() ? v(rng.below(8)) : (v(rng.below(8)) & v(rng.below(8)));
     const Bdd g = v(rng.below(8)) | v(rng.below(8));
     const Bdd h = v(rng.below(8)) ^ v(rng.below(8));
-    EXPECT_EQ(mgr.ite(f, g, h), (f & g) | (!f & h));
+    EXPECT_EQ(mgr.ite(f, g, h), (f & g) | ((!f) & h));
   }
 }
 
 TEST_F(BddTest, EvalTruthTable) {
-  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  const Bdd f = (v(0) & v(1)) | ((!v(0)) & v(2));
   for (int bits = 0; bits < 8; ++bits) {
     std::vector<bool> a(8, false);
     a[0] = bits & 1;
@@ -135,7 +126,7 @@ TEST_F(BddTest, AndExistsEqualsExistsOfAnd) {
   for (int i = 0; i < 30; ++i) {
     const Bdd f = (v(rng.below(8)) & v(rng.below(8))) | v(rng.below(8));
     const Bdd g = (v(rng.below(8)) | v(rng.below(8))) ^ v(rng.below(8));
-    const Bdd cube = mgr.make_cube({rng.below(8), rng.below(8)});
+    const Bdd cube = mgr.make_cube({std::uint32_t(rng.below(8)), std::uint32_t(rng.below(8))});
     EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(f & g, cube));
   }
 }
@@ -172,7 +163,7 @@ TEST_F(BddTest, ComposeWithConstant) {
 }
 
 TEST_F(BddTest, CofactorFixesVariable) {
-  const Bdd f = (v(0) & v(1)) | (!v(0) & v(2));
+  const Bdd f = (v(0) & v(1)) | ((!v(0)) & v(2));
   EXPECT_EQ(mgr.cofactor(f, 0, true), v(1));
   EXPECT_EQ(mgr.cofactor(f, 0, false), v(2));
 }

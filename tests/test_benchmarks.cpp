@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "fixtures.hpp"
 #include "sim/explicit.hpp"
 #include "sim/ternary.hpp"
 
@@ -30,6 +31,35 @@ TEST(BenchmarkRegistry, RedundantFlags) {
 
 TEST(BenchmarkRegistry, UnknownNameThrows) {
   EXPECT_THROW(benchmark_stg("nonesuch"), CheckError);
+}
+
+TEST(FixtureCircuits, Fig1SourcesDoNotDrift) {
+  // The Figure 1 netlists exist twice: as xnl text in tests/fixtures.hpp
+  // (for parser tests) and embedded in fig1a_circuit()/fig1b_circuit()
+  // (which also supply the paper's initial states).  Lock the two copies
+  // together so an edit to either shows up as a failure here.
+  EXPECT_EQ(write_xnl_string(fixtures::fig1a().netlist),
+            write_xnl_string(parse_xnl_string(fixtures::kFig1aXnl)));
+  EXPECT_EQ(write_xnl_string(fixtures::fig1b().netlist),
+            write_xnl_string(parse_xnl_string(fixtures::kFig1bXnl)));
+}
+
+TEST(FixtureCircuits, ValidateAndRoundTrip) {
+  // The shared test-rig circuits must satisfy the same contract as the
+  // registry benchmarks: structurally valid, stable at reset, and
+  // serializable through the native format without loss.
+  for (const fixtures::Circuit& fix :
+       {fixtures::fig1a(), fixtures::fig1b(), fixtures::chain(),
+        fixtures::celem(), fixtures::async_latch(), fixtures::pipeline2(),
+        fixtures::random_netlist(3)}) {
+    fix.netlist.validate();
+    EXPECT_TRUE(fix.netlist.is_stable_state(fix.reset)) << fix.netlist.name();
+    const Netlist reparsed = parse_xnl_string(write_xnl_string(fix.netlist));
+    EXPECT_EQ(reparsed.num_signals(), fix.netlist.num_signals())
+        << fix.netlist.name();
+    EXPECT_EQ(reparsed.inputs().size(), fix.netlist.inputs().size())
+        << fix.netlist.name();
+  }
 }
 
 // Parameterized validation of every named benchmark specification.

@@ -1,0 +1,133 @@
+// Golden-value regression tests: exact BDD-manager node counts and CSSG
+// state/edge counts for the fixture circuits.
+//
+// These lock in the paper-table semantics: the CSSG statistics are what the
+// Figure 2 / Table 1 columns are computed from, and the BDD counts pin the
+// symbolic core's behaviour (hashing, GC thresholds, operation ordering).
+// Every number below is deterministic — the library draws randomness only
+// from the seeded xoshiro Rng — so any drift is a real semantic change and
+// must be reviewed, not papered over.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "fixtures.hpp"
+#include "sgraph/cssg.hpp"
+#include "util/random.hpp"
+
+namespace xatpg {
+namespace {
+
+struct CssgGolden {
+  const char* name;
+  fixtures::Circuit (*make)();
+  std::size_t k;
+  std::size_t num_signals, num_pins;
+  double reachable, stable, tcr_pairs, nonconfluent, unstable, edges,
+      cssg_reachable;
+};
+
+class CssgGoldenTest : public ::testing::TestWithParam<CssgGolden> {};
+
+TEST_P(CssgGoldenTest, StateAndEdgeCounts) {
+  const CssgGolden& g = GetParam();
+  const fixtures::Circuit fix = g.make();
+  EXPECT_EQ(fix.netlist.num_signals(), g.num_signals);
+  EXPECT_EQ(fix.netlist.num_pins(), g.num_pins);
+
+  CssgOptions options;
+  options.k = g.k;
+  Cssg cssg(fix.netlist, {fix.reset}, options);
+  const CssgStats& st = cssg.stats();
+  EXPECT_DOUBLE_EQ(st.reachable_states, g.reachable);
+  EXPECT_DOUBLE_EQ(st.stable_states, g.stable);
+  EXPECT_DOUBLE_EQ(st.tcr_pairs, g.tcr_pairs);
+  EXPECT_DOUBLE_EQ(st.nonconfluent_pairs, g.nonconfluent);
+  EXPECT_DOUBLE_EQ(st.unstable_pairs, g.unstable);
+  EXPECT_DOUBLE_EQ(st.cssg_edges, g.edges);
+  EXPECT_DOUBLE_EQ(st.cssg_reachable_states, g.cssg_reachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, CssgGoldenTest,
+    ::testing::Values(
+        // Figure 1(a): 44 transient-reachable states collapse to 7 stable
+        // ones; 4 of the 23 TCR pairs are pruned as non-confluent races.
+        CssgGolden{"fig1a", fixtures::fig1a, 20, 6, 6, 44, 7, 23, 4, 0, 19, 7},
+        // Figure 1(b): the oscillating ring prunes both non-confluent and
+        // unstable pairs, leaving a 4-edge CSSG over 3 stable states.
+        CssgGolden{"fig1b", fixtures::fig1b, 20, 6, 6, 33, 3, 13, 6, 3, 4, 3},
+        // A lone C-element is race-free: every TCR pair survives.
+        CssgGolden{"celem", fixtures::celem, 20, 3, 2, 8, 6, 18, 0, 0, 18, 6},
+        // The gC transparent latch has the same state-count shape as the
+        // C-element (both are 2-input state-holding gates).
+        CssgGolden{"latch", fixtures::async_latch, 20, 3, 2, 8, 6, 18, 0, 0,
+                   18, 6},
+        // Two-stage pipeline controller: 2 racy pairs pruned.
+        CssgGolden{"pipeline2", fixtures::pipeline2, 24, 5, 7, 26, 8, 25, 2, 0,
+                   23, 8}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- BDD manager node accounting ---------------------------------------------
+
+TEST(BddGolden, SeededFunctionNodeCounts) {
+  // Disjunction of eight seeded random functions over 12 variables: the
+  // unique-table contents after construction are a function of the node
+  // hashing and reduction rules only.
+  BddManager mgr(12);
+  Rng rng(2024);
+  Bdd acc = mgr.bdd_false();
+  for (int i = 0; i < 8; ++i) acc |= fixtures::random_bdd(mgr, rng, 4, 12);
+  EXPECT_EQ(mgr.allocated_nodes(), 1278u);
+  EXPECT_EQ(mgr.peak_nodes(), 1278u);
+  EXPECT_EQ(mgr.gc_count(), 0u);
+}
+
+TEST(BddGolden, FreshManagerBaseline) {
+  // A fresh manager owns exactly the two terminal nodes; single-literal
+  // nodes are created lazily on first var() use.
+  BddManager mgr(8);
+  EXPECT_EQ(mgr.allocated_nodes(), 2u);
+  mgr.var(0);
+  EXPECT_EQ(mgr.allocated_nodes(), 3u);
+  mgr.var(0);  // cached: no new node
+  EXPECT_EQ(mgr.allocated_nodes(), 3u);
+  mgr.nvar(0);
+  EXPECT_EQ(mgr.allocated_nodes(), 4u);
+}
+
+TEST(BddGolden, CssgPeakNodesOnFixtures) {
+  // Peak live-node watermark while building the full symbolic pipeline.
+  // These are the numbers the ordering/k ablation benchmarks report; a
+  // regression here is a regression in Figure 2 reproduction quality.
+  struct Row {
+    fixtures::Circuit (*make)();
+    std::size_t k;
+    std::size_t peak;
+  };
+  for (const Row& row : {Row{fixtures::fig1a, 20, 1578},
+                         Row{fixtures::fig1b, 20, 1546},
+                         Row{fixtures::celem, 20, 225},
+                         Row{fixtures::async_latch, 20, 228},
+                         Row{fixtures::pipeline2, 24, 1031}}) {
+    const fixtures::Circuit fix = row.make();
+    CssgOptions options;
+    options.k = row.k;
+    Cssg cssg(fix.netlist, {fix.reset}, options);
+    EXPECT_EQ(cssg.stats().peak_bdd_nodes, row.peak) << fix.netlist.name();
+  }
+}
+
+// --- random-netlist generator stability --------------------------------------
+
+TEST(GeneratorGolden, Seed7Shape) {
+  // The generator feeds property tests across suites; its output for a
+  // given seed is part of the fixture contract.
+  const fixtures::Circuit r = fixtures::random_netlist(7);
+  EXPECT_EQ(r.netlist.name(), "random7");
+  EXPECT_EQ(r.netlist.num_signals(), 11u);
+  EXPECT_EQ(r.netlist.num_pins(), 18u);
+  EXPECT_TRUE(r.netlist.is_stable_state(r.reset));
+}
+
+}  // namespace
+}  // namespace xatpg

@@ -4,37 +4,14 @@
 
 #include <algorithm>
 
+#include "fixtures.hpp"
 #include "util/check.hpp"
 
 namespace xatpg {
 namespace {
 
-// Reconstruction of the paper's Figure 1(a): a circuit exhibiting
-// non-confluence.  From stable state (A=0,B=1), applying AB=10 races a rising
-// `a` against a falling `b`; the pulse on c may or may not latch y.
-constexpr const char* kFig1a = R"(
-.model fig1a
-.inputs A B
-.outputs y
-.gate BUF a A
-.gate BUF b B
-.gate AND c a b
-.gate OR  y c y
-.end
-)";
-
-// Reconstruction of Figure 1(b): oscillation.  With B=0, raising A makes the
-// NAND/OR ring unstable (c-, d-, c+, d+ repeats); B=1 breaks the ring.
-constexpr const char* kFig1b = R"(
-.model fig1b
-.inputs A B
-.outputs d
-.gate BUF a A
-.gate BUF b B
-.gate NAND c a d
-.gate OR d c b
-.end
-)";
+using fixtures::kFig1aXnl;
+using fixtures::kFig1bXnl;
 
 TEST(Netlist, BuildByHand) {
   Netlist n("toy");
@@ -152,7 +129,7 @@ TEST(Netlist, GcGateEval) {
 }
 
 TEST(Netlist, StableStateDetection) {
-  Netlist n = parse_xnl_string(kFig1a);
+  Netlist n = parse_xnl_string(kFig1aXnl);
   // A=0,B=1,a=0,b=1,c=0,y=0 is stable.
   std::vector<bool> st(n.num_signals(), false);
   st[n.signal("B")] = true;
@@ -165,7 +142,7 @@ TEST(Netlist, StableStateDetection) {
 }
 
 TEST(NetlistParser, ParsesFig1a) {
-  const Netlist n = parse_xnl_string(kFig1a);
+  const Netlist n = parse_xnl_string(kFig1aXnl);
   EXPECT_EQ(n.name(), "fig1a");
   EXPECT_EQ(n.inputs().size(), 2u);
   EXPECT_EQ(n.outputs().size(), 1u);
@@ -178,7 +155,7 @@ TEST(NetlistParser, ParsesFig1a) {
 }
 
 TEST(NetlistParser, RoundTripThroughWriter) {
-  const Netlist n1 = parse_xnl_string(kFig1b);
+  const Netlist n1 = parse_xnl_string(kFig1bXnl);
   const std::string text = write_xnl_string(n1);
   const Netlist n2 = parse_xnl_string(text);
   EXPECT_EQ(n1.name(), n2.name());
@@ -229,6 +206,82 @@ TEST(NetlistParser, RejectsUnknownDirective) {
   EXPECT_THROW(parse_xnl_string(".bogus x\n"), CheckError);
 }
 
+TEST(NetlistParser, RejectsContentAfterEnd) {
+  EXPECT_THROW(parse_xnl_string(".model m\n.end\n.inputs A\n"), CheckError);
+}
+
+TEST(NetlistParser, RejectsModelWithoutName) {
+  EXPECT_THROW(parse_xnl_string(".model\n.end\n"), CheckError);
+  EXPECT_THROW(parse_xnl_string(".model two names\n.end\n"), CheckError);
+}
+
+TEST(NetlistParser, RejectsGateMissingOutput) {
+  EXPECT_THROW(parse_xnl_string(".gate AND\n.end\n"), CheckError);
+}
+
+TEST(NetlistParser, RejectsUnknownGateType) {
+  EXPECT_THROW(parse_xnl_string(".inputs A\n.gate FROB f A\n.end\n"),
+               CheckError);
+}
+
+TEST(NetlistParser, RejectsBadCubeLiteral) {
+  const char* text = R"(
+.model bad
+.inputs A B
+.sop f : A B : 1x
+.end
+)";
+  EXPECT_THROW(parse_xnl_string(text), CheckError);
+}
+
+TEST(NetlistParser, RejectsGcWithMissingResetField) {
+  const char* text = R"(
+.model bad
+.inputs A B
+.gc q : A B : 11
+.end
+)";
+  EXPECT_THROW(parse_xnl_string(text), CheckError);
+}
+
+TEST(NetlistParser, RejectsSopWithMultipleOutputs) {
+  const char* text = R"(
+.model bad
+.inputs A B
+.sop f g : A B : 11
+.end
+)";
+  EXPECT_THROW(parse_xnl_string(text), CheckError);
+}
+
+TEST(NetlistParser, RejectsRedefinedSignal) {
+  const char* text = R"(
+.model bad
+.inputs A
+.gate NOT f A
+.gate BUF f A
+.end
+)";
+  EXPECT_THROW(parse_xnl_string(text), CheckError);
+}
+
+TEST(NetlistParser, RejectsUndrivenOutput) {
+  // `.outputs ghost` declares the signal but nothing ever defines it; the
+  // final validate() pass must reject the netlist.
+  const char* text = R"(
+.model bad
+.inputs A
+.outputs ghost
+.end
+)";
+  EXPECT_THROW(parse_xnl_string(text), CheckError);
+}
+
+TEST(NetlistParser, EmptyInputIsAValidEmptyNetlist) {
+  const Netlist n = parse_xnl_string("");
+  EXPECT_EQ(n.num_signals(), 0u);
+}
+
 TEST(NetlistParser, CommentsAndBlankLines) {
   const char* text = R"(
 # a comment
@@ -264,8 +317,22 @@ TEST(BenchParser, RejectsDff) {
   EXPECT_THROW(parse_bench_string(text), CheckError);
 }
 
+TEST(BenchParser, RejectsMissingParenthesis) {
+  EXPECT_THROW(parse_bench_string("INPUT(a\n"), CheckError);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nf = AND(a\n"), CheckError);
+}
+
+TEST(BenchParser, RejectsLineWithoutAssignment) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nnot an assignment\n"),
+               CheckError);
+}
+
+TEST(BenchParser, RejectsUndefinedOutput) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(zz)\n"), CheckError);
+}
+
 TEST(NetlistAnalysis, Fanouts) {
-  const Netlist n = parse_xnl_string(kFig1a);
+  const Netlist n = parse_xnl_string(kFig1aXnl);
   const auto fo = n.fanouts();
   // Signal c fans out to y's pin 0.
   const auto& c_fo = fo[n.signal("c")];
@@ -275,7 +342,7 @@ TEST(NetlistAnalysis, Fanouts) {
 }
 
 TEST(NetlistAnalysis, SccFindsFeedback) {
-  const Netlist n = parse_xnl_string(kFig1b);
+  const Netlist n = parse_xnl_string(kFig1bXnl);
   std::uint32_t num_sccs = 0;
   const auto comp = n.scc_ids(&num_sccs);
   // c and d form a cycle -> same SCC; everything else is its own SCC.
@@ -285,7 +352,7 @@ TEST(NetlistAnalysis, SccFindsFeedback) {
 }
 
 TEST(NetlistAnalysis, FeedbackArcsBreakAllCycles) {
-  for (const char* text : {kFig1a, kFig1b}) {
+  for (const char* text : {kFig1aXnl, kFig1bXnl}) {
     const Netlist n = parse_xnl_string(text);
     const auto cuts = n.feedback_arcs();
     EXPECT_FALSE(cuts.empty());
@@ -310,7 +377,7 @@ TEST(NetlistAnalysis, TopoOrderRespectsDependencies) {
 }
 
 TEST(NetlistAnalysis, TopoOrderThrowsOnCycle) {
-  const Netlist n = parse_xnl_string(kFig1b);
+  const Netlist n = parse_xnl_string(kFig1bXnl);
   EXPECT_THROW(n.topo_order({}), CheckError);
 }
 

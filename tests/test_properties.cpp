@@ -9,6 +9,7 @@
 #include "atpg/fault.hpp"
 #include "benchmarks/benchmarks.hpp"
 #include "bdd/bdd.hpp"
+#include "fixtures.hpp"
 #include "sgraph/cssg.hpp"
 #include "sim/explicit.hpp"
 #include "sim/parallel.hpp"
@@ -26,22 +27,15 @@ class BddProperty : public ::testing::TestWithParam<std::uint64_t> {
   Rng rng{GetParam()};
 
   Bdd random_function(int depth) {
-    if (depth == 0)
-      return rng.flip() ? mgr.var(rng.below(12)) : !mgr.var(rng.below(12));
-    const Bdd a = random_function(depth - 1);
-    const Bdd b = random_function(depth - 1);
-    switch (rng.below(3)) {
-      case 0: return a & b;
-      case 1: return a | b;
-      default: return a ^ b;
-    }
+    return fixtures::random_bdd(mgr, rng, depth, 12);
   }
 };
 
 TEST_P(BddProperty, QuantifierDualities) {
   for (int i = 0; i < 10; ++i) {
     const Bdd f = random_function(4);
-    const Bdd cube = mgr.make_cube({rng.below(12), rng.below(12)});
+    const Bdd cube = mgr.make_cube(
+        {std::uint32_t(rng.below(12)), std::uint32_t(rng.below(12))});
     // ∃x f == !∀x !f
     EXPECT_EQ(mgr.exists(f, cube), !mgr.forall(!f, cube));
     // ∀x f implies f's universal abstraction is below existential
@@ -53,8 +47,9 @@ TEST_P(BddProperty, AndExistsFusionMatchesComposition) {
   for (int i = 0; i < 10; ++i) {
     const Bdd f = random_function(4);
     const Bdd g = random_function(4);
-    const Bdd cube = mgr.make_cube({rng.below(12), rng.below(12),
-                                    rng.below(12)});
+    const Bdd cube = mgr.make_cube({std::uint32_t(rng.below(12)),
+                                    std::uint32_t(rng.below(12)),
+                                    std::uint32_t(rng.below(12))});
     EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(f & g, cube));
   }
 }
@@ -66,7 +61,7 @@ TEST_P(BddProperty, ComposeAgainstCofactorShannon) {
     const std::uint32_t v = rng.below(12);
     // f[v <- g] == g & f|v=1  |  !g & f|v=0
     const Bdd expected = (g & mgr.cofactor(f, v, true)) |
-                         (!g & mgr.cofactor(f, v, false));
+                         ((!g) & mgr.cofactor(f, v, false));
     EXPECT_EQ(mgr.compose(f, v, g), expected);
   }
 }
@@ -135,9 +130,10 @@ TEST_P(FaultEquivalence, MaterializedNetlistMatchesLaneInjection) {
       if (fault.site == Fault::Site::SignalOutput && fault.gate == s) continue;
       const Ternary lane = par.value(s, 1);
       const Ternary mat = scalar.state[s];
-      if (lane != Ternary::X && mat != Ternary::X)
+      if (lane != Ternary::X && mat != Ternary::X) {
         EXPECT_EQ(lane, mat) << GetParam() << " " << fault.describe(good)
                              << " signal " << good.signal_name(s);
+      }
     }
   }
 }
@@ -151,6 +147,46 @@ INSTANTIATE_TEST_SUITE_P(Circuits, FaultEquivalence,
                              if (c == '-') c = '_';
                            return name;
                          });
+
+// --- random netlists: conservative vs exact simulation ------------------------
+
+class RandomNetlistProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetlistProperty, GeneratorIsDeterministicAndValid) {
+  const fixtures::Circuit a = fixtures::random_netlist(GetParam());
+  const fixtures::Circuit b = fixtures::random_netlist(GetParam());
+  EXPECT_EQ(write_xnl_string(a.netlist), write_xnl_string(b.netlist));
+  EXPECT_EQ(a.reset, b.reset);
+  EXPECT_TRUE(a.netlist.is_stable_state(a.reset));
+}
+
+TEST_P(RandomNetlistProperty, TernaryNeverMissesARace) {
+  // The fixture generator covers gate mixes no hand-written circuit does;
+  // on each generated circuit, every vector from reset must satisfy the
+  // soundness contract: >= 2 exact outcomes implies non-confluent ternary,
+  // and a definite ternary settle implies a unique exact outcome.
+  const fixtures::Circuit fix = fixtures::random_netlist(GetParam());
+  const Netlist& n = fix.netlist;
+  TernarySim sim(n);
+  const std::size_t m = n.inputs().size();
+  for (std::uint64_t bits = 0; bits < (1ull << m); ++bits) {
+    std::vector<bool> vec(m);
+    for (std::size_t i = 0; i < m; ++i) vec[i] = (bits >> i) & 1;
+    const auto ternary = sim.settle(fix.reset, vec);
+    const auto exact = explore_settling(n, fix.reset, vec, 40);
+    if (exact.stable_states.size() >= 2) {
+      EXPECT_FALSE(ternary.confluent) << n.name() << " vector " << bits;
+    }
+    if (ternary.confluent && !exact.exceeded_bound) {
+      ASSERT_EQ(exact.stable_states.size(), 1u)
+          << n.name() << " vector " << bits;
+      EXPECT_EQ(*exact.stable_states.begin(), ternary.final_state());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistProperty,
+                         ::testing::Values(1u, 7u, 21u, 99u, 1234u));
 
 // --- CSSG determinism, symbolically --------------------------------------------
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "benchmarks/benchmarks.hpp"
+#include "fixtures.hpp"
 #include "sim/explicit.hpp"
 #include "sim/ternary.hpp"
 
@@ -96,7 +97,10 @@ TEST(Encoding, AllStatesEnumerates) {
 
 class CssgFig1a : public ::testing::Test {
  protected:
-  CssgFig1a() : netlist(fig1a_circuit(&reset)) {
+  CssgFig1a() {
+    fixtures::Circuit fix = fixtures::fig1a();
+    netlist = std::move(fix.netlist);
+    reset = std::move(fix.reset);
     CssgOptions options;
     options.k = 20;
     cssg = std::make_unique<Cssg>(netlist, std::vector<std::vector<bool>>{reset}, options);
@@ -331,8 +335,7 @@ INSTANTIATE_TEST_SUITE_P(SmallBenchmarks, CssgBenchmark,
                          });
 
 TEST(CssgOrdering, AllOrdersAgreeOnCounts) {
-  std::vector<bool> reset;
-  const Netlist netlist = fig1a_circuit(&reset);
+  const auto [netlist, reset] = fixtures::fig1a();
   double edges = -1;
   for (const VarOrder order : {VarOrder::Interleaved, VarOrder::Blocked,
                                VarOrder::ReverseInterleaved}) {
@@ -350,8 +353,7 @@ TEST(CssgOrdering, AllOrdersAgreeOnCounts) {
 }
 
 TEST(CssgK, SmallKPrunesMoreEdges) {
-  std::vector<bool> reset;
-  const Netlist netlist = fig1b_circuit(&reset);
+  const auto [netlist, reset] = fixtures::fig1b();
   CssgOptions small, large;
   small.k = 1;
   large.k = 16;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "fixtures.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/explicit.hpp"
 #include "sim/parallel.hpp"
@@ -8,53 +9,7 @@
 namespace xatpg {
 namespace {
 
-constexpr const char* kFig1a = R"(
-.model fig1a
-.inputs A B
-.outputs y
-.gate BUF a A
-.gate BUF b B
-.gate AND c a b
-.gate OR  y c y
-.end
-)";
-
-constexpr const char* kFig1b = R"(
-.model fig1b
-.inputs A B
-.outputs d
-.gate BUF a A
-.gate BUF b B
-.gate NAND c a d
-.gate OR d c b
-.end
-)";
-
-// A hazard-free combinational circuit: two cascaded inverters.
-constexpr const char* kChain = R"(
-.model chain
-.inputs A
-.outputs y
-.gate NOT n A
-.gate NOT y n
-.end
-)";
-
-std::vector<bool> fig1a_stable_01(const Netlist& n) {
-  // A=0,B=1,a=0,b=1,c=0,y=0 — the paper's initial stable state shape.
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("B")] = true;
-  st[n.signal("b")] = true;
-  return st;
-}
-
-std::vector<bool> fig1b_stable_00(const Netlist& n) {
-  // A=0,B=0,a=0,b=0,c=1,d=1 — stable ring.
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("c")] = true;
-  st[n.signal("d")] = true;
-  return st;
-}
+using fixtures::Circuit;
 
 TEST(TernaryAlgebra, TruthTables) {
   using T = Ternary;
@@ -71,9 +26,9 @@ TEST(TernaryAlgebra, TruthTables) {
 }
 
 TEST(TernarySimTest, StableInputNoChangeStaysStable) {
-  const Netlist n = parse_xnl_string(kChain);
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;  // A=0 -> n=1 -> y=0
+  const Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
+  const std::vector<bool>& st = fix.reset;  // A=0, n=1, y=0
   ASSERT_TRUE(n.is_stable_state(st));
   TernarySim sim(n);
   const auto result = sim.settle(st, {false});
@@ -82,11 +37,10 @@ TEST(TernarySimTest, StableInputNoChangeStaysStable) {
 }
 
 TEST(TernarySimTest, CombinationalChainSettles) {
-  const Netlist n = parse_xnl_string(kChain);
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;
+  const Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
   TernarySim sim(n);
-  const auto result = sim.settle(st, {true});
+  const auto result = sim.settle(fix.reset, {true});
   ASSERT_TRUE(result.confluent);
   const auto fin = result.final_state();
   EXPECT_TRUE(fin[n.signal("A")]);
@@ -95,20 +49,22 @@ TEST(TernarySimTest, CombinationalChainSettles) {
 }
 
 TEST(TernarySimTest, DetectsNonConfluenceInFig1a) {
-  const Netlist n = parse_xnl_string(kFig1a);
+  const Circuit fix = fixtures::fig1a();
+  const Netlist& n = fix.netlist;
   TernarySim sim(n);
   // Apply AB = 10: a rising races b falling; y may or may not latch.
-  const auto result = sim.settle(fig1a_stable_01(n), {true, false});
+  const auto result = sim.settle(fix.reset, {true, false});
   EXPECT_FALSE(result.confluent);
   // The racing signal y must be marked unknown.
   EXPECT_EQ(result.state[n.signal("y")], Ternary::X);
 }
 
 TEST(TernarySimTest, Fig1aSafeVectorIsConfluent) {
-  const Netlist n = parse_xnl_string(kFig1a);
+  const Circuit fix = fixtures::fig1a();
+  const Netlist& n = fix.netlist;
   TernarySim sim(n);
   // Raising only A (B stays 1) makes c rise and latch y deterministically.
-  const auto result = sim.settle(fig1a_stable_01(n), {true, true});
+  const auto result = sim.settle(fix.reset, {true, true});
   ASSERT_TRUE(result.confluent);
   const auto fin = result.final_state();
   EXPECT_TRUE(fin[n.signal("c")]);
@@ -116,20 +72,22 @@ TEST(TernarySimTest, Fig1aSafeVectorIsConfluent) {
 }
 
 TEST(TernarySimTest, DetectsOscillationInFig1b) {
-  const Netlist n = parse_xnl_string(kFig1b);
+  const Circuit fix = fixtures::fig1b();
+  const Netlist& n = fix.netlist;
   TernarySim sim(n);
   // Raising A with B=0 starts the c/d oscillation.
-  const auto result = sim.settle(fig1b_stable_00(n), {true, false});
+  const auto result = sim.settle(fix.reset, {true, false});
   EXPECT_FALSE(result.confluent);
   EXPECT_EQ(result.state[n.signal("c")], Ternary::X);
   EXPECT_EQ(result.state[n.signal("d")], Ternary::X);
 }
 
 TEST(TernarySimTest, Fig1bBreakingTheRingIsConfluent) {
-  const Netlist n = parse_xnl_string(kFig1b);
+  const Circuit fix = fixtures::fig1b();
+  const Netlist& n = fix.netlist;
   TernarySim sim(n);
   // Raising A and B together: d is held at 1 by b, c falls to !a = 0.
-  const auto result = sim.settle(fig1b_stable_00(n), {true, true});
+  const auto result = sim.settle(fix.reset, {true, true});
   ASSERT_TRUE(result.confluent);
   const auto fin = result.final_state();
   EXPECT_FALSE(fin[n.signal("c")]);
@@ -137,7 +95,7 @@ TEST(TernarySimTest, Fig1bBreakingTheRingIsConfluent) {
 }
 
 TEST(TernarySimTest, SettleToStableHelper) {
-  const Netlist n = parse_xnl_string(kChain);
+  const Netlist n = parse_xnl_string(fixtures::kChainXnl);
   std::vector<bool> st(n.num_signals(), false);  // A=0,n=0,y=0: n excited
   EXPECT_TRUE(settle_to_stable(n, st));
   EXPECT_TRUE(st[n.signal("n")]);
@@ -148,18 +106,18 @@ TEST(TernarySimTest, SettleToStableHelper) {
 // --- explicit exploration (the exact oracle) --------------------------------
 
 TEST(ExplicitExplore, ConfluentVectorHasUniqueOutcome) {
-  const Netlist n = parse_xnl_string(kFig1a);
+  const Circuit fix = fixtures::fig1a();
   const auto result =
-      explore_settling(n, fig1a_stable_01(n), {true, true}, 20);
+      explore_settling(fix.netlist, fix.reset, {true, true}, 20);
   EXPECT_TRUE(result.confluent());
   EXPECT_EQ(result.stable_states.size(), 1u);
   EXPECT_FALSE(result.exceeded_bound);
 }
 
 TEST(ExplicitExplore, RaceYieldsTwoStableStates) {
-  const Netlist n = parse_xnl_string(kFig1a);
-  const auto result =
-      explore_settling(n, fig1a_stable_01(n), {true, false}, 20);
+  const Circuit fix = fixtures::fig1a();
+  const Netlist& n = fix.netlist;
+  const auto result = explore_settling(n, fix.reset, {true, false}, 20);
   EXPECT_FALSE(result.confluent());
   // Exactly the two settlements the paper describes: y latched or not.
   EXPECT_EQ(result.stable_states.size(), 2u);
@@ -173,9 +131,9 @@ TEST(ExplicitExplore, RaceYieldsTwoStableStates) {
 }
 
 TEST(ExplicitExplore, OscillationExceedsBound) {
-  const Netlist n = parse_xnl_string(kFig1b);
+  const Circuit fix = fixtures::fig1b();
   const auto result =
-      explore_settling(n, fig1b_stable_00(n), {true, false}, 30);
+      explore_settling(fix.netlist, fix.reset, {true, false}, 30);
   EXPECT_TRUE(result.exceeded_bound);
   EXPECT_FALSE(result.confluent());
 }
@@ -193,18 +151,12 @@ TEST(ExplicitExplore, TernaryVsExplicitRelationship) {
   // resolves those — this is exactly the §2 "transient oscillation"
   // distinction, and why the CSSG (not ternary sim) is the vector-validity
   // arbiter in the ATPG flow.
-  for (const char* text : {kFig1a, kFig1b, kChain}) {
-    const Netlist n = parse_xnl_string(text);
+  for (const Circuit& fix :
+       {fixtures::fig1a(), fixtures::fig1b(), fixtures::chain()}) {
+    const Netlist& n = fix.netlist;
     TernarySim sim(n);
     const std::size_t m = n.inputs().size();
-    const auto stables = explicit_stable_reachable(
-        n, [&] {
-          std::vector<bool> st(n.num_signals(), false);
-          if (std::string(n.name()) == "fig1a") return fig1a_stable_01(n);
-          if (std::string(n.name()) == "fig1b") return fig1b_stable_00(n);
-          st[n.signal("n")] = true;
-          return st;
-        }(), 30);
+    const auto stables = explicit_stable_reachable(n, fix.reset, 30);
     for (const auto& st : stables) {
       for (std::uint64_t bits = 0; bits < (1u << m); ++bits) {
         std::vector<bool> vec(m);
@@ -231,11 +183,9 @@ TEST(ExplicitExplore, TernaryVsExplicitRelationship) {
 }
 
 TEST(ExplicitExplore, StableReachableContainsReset) {
-  const Netlist n = parse_xnl_string(kChain);
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;
-  const auto states = explicit_stable_reachable(n, st, 20);
-  EXPECT_TRUE(states.count(st));
+  const Circuit fix = fixtures::chain();
+  const auto states = explicit_stable_reachable(fix.netlist, fix.reset, 20);
+  EXPECT_TRUE(states.count(fix.reset));
   EXPECT_EQ(states.size(), 2u);  // A=0 and A=1 settlements
 }
 
@@ -263,10 +213,11 @@ TEST(RailAlgebra, MatchesScalarTernary) {
 }
 
 TEST(ParallelSim, FaultFreeLaneMatchesScalar) {
-  const Netlist n = parse_xnl_string(kFig1a);
+  const Circuit fix = fixtures::fig1a();
+  const Netlist& n = fix.netlist;
   TernarySim scalar(n);
   ParallelTernarySim par(n, {});
-  const auto st = fig1a_stable_01(n);
+  const std::vector<bool>& st = fix.reset;
   const std::vector<bool> vec{true, true};
   const auto scalar_result = scalar.settle(st, vec);
   par.load_state(st);
@@ -276,14 +227,13 @@ TEST(ParallelSim, FaultFreeLaneMatchesScalar) {
 }
 
 TEST(ParallelSim, OutputStuckAtDetected) {
-  const Netlist n = parse_xnl_string(kChain);
+  const Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
   // Lane 1: y stuck-at-0.
   LaneInjection inj{LaneInjection::Site::SignalOutput, n.signal("y"), 0, false,
                     1ull << 1};
   ParallelTernarySim par(n, {inj});
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;
-  par.load_state(st);
+  par.load_state(fix.reset);
   par.settle({true});  // good: y -> 1; faulty: y stuck 0
   EXPECT_EQ(par.value(n.signal("y"), 0), Ternary::V1);
   EXPECT_EQ(par.value(n.signal("y"), 1), Ternary::V0);
@@ -292,38 +242,36 @@ TEST(ParallelSim, OutputStuckAtDetected) {
 }
 
 TEST(ParallelSim, InputPinStuckAt) {
-  const Netlist n = parse_xnl_string(kChain);
+  const Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
   // Lane 3: the pin n->y (pin 0 of gate y) stuck-at-1, so y = NOT(1) = 0.
   LaneInjection inj{LaneInjection::Site::GatePin, n.signal("y"), 0, true,
                     1ull << 3};
   ParallelTernarySim par(n, {inj});
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;
-  par.load_state(st);
+  par.load_state(fix.reset);
   par.settle({true});  // good circuit: n=0, y=1; faulty: y=0
   EXPECT_EQ(par.value(n.signal("y"), 0), Ternary::V1);
   EXPECT_EQ(par.value(n.signal("y"), 3), Ternary::V0);
 }
 
 TEST(ParallelSim, RaceMarksLaneUnknown) {
-  const Netlist n = parse_xnl_string(kFig1a);
-  ParallelTernarySim par(n, {});
-  par.load_state(fig1a_stable_01(n));
+  const Circuit fix = fixtures::fig1a();
+  ParallelTernarySim par(fix.netlist, {});
+  par.load_state(fix.reset);
   par.settle({true, false});  // the racing vector
   EXPECT_NE(par.lanes_with_unknown() & 1ull, 0ull);
 }
 
 TEST(ParallelSim, SixtyFourLanesIndependent) {
-  const Netlist n = parse_xnl_string(kChain);
+  const Circuit fix = fixtures::chain();
+  const Netlist& n = fix.netlist;
   // Odd lanes: y output stuck at 0.
   std::uint64_t odd = 0;
   for (int lane = 1; lane < 64; lane += 2) odd |= 1ull << lane;
   LaneInjection inj{LaneInjection::Site::SignalOutput, n.signal("y"), 0, false,
                     odd};
   ParallelTernarySim par(n, {inj});
-  std::vector<bool> st(n.num_signals(), false);
-  st[n.signal("n")] = true;
-  par.load_state(st);
+  par.load_state(fix.reset);
   par.settle({true});
   for (unsigned lane = 0; lane < 64; ++lane) {
     const Ternary expected = (lane % 2) ? Ternary::V0 : Ternary::V1;
@@ -332,7 +280,7 @@ TEST(ParallelSim, SixtyFourLanesIndependent) {
 }
 
 TEST(ParallelSim, InjectionValidation) {
-  const Netlist n = parse_xnl_string(kChain);
+  const Netlist n = parse_xnl_string(fixtures::kChainXnl);
   LaneInjection bad{LaneInjection::Site::GatePin, n.signal("y"), 5, true, 1};
   EXPECT_THROW(ParallelTernarySim(n, {bad}), CheckError);
 }

@@ -2,33 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "fixtures.hpp"
 #include "util/check.hpp"
 
 namespace xatpg {
 namespace {
 
-/// C-element STG: (r0+ || r1+) -> a+ -> (r0- || r1-) -> a- -> repeat.
-Stg celem_stg() {
-  Stg stg("celem");
-  const auto r0 = stg.add_signal("r0", SignalKind::Input, false);
-  const auto r1 = stg.add_signal("r1", SignalKind::Input, false);
-  const auto a = stg.add_signal("a", SignalKind::Output, false);
-  const auto r0p = stg.add_transition(r0, true);
-  const auto r0m = stg.add_transition(r0, false);
-  const auto r1p = stg.add_transition(r1, true);
-  const auto r1m = stg.add_transition(r1, false);
-  const auto ap = stg.add_transition(a, true);
-  const auto am = stg.add_transition(a, false);
-  stg.arc(r0p, ap);
-  stg.arc(r1p, ap);
-  stg.arc(ap, r0m);
-  stg.arc(ap, r1m);
-  stg.arc(r0m, am);
-  stg.arc(r1m, am);
-  stg.arc(am, r0p, 1);
-  stg.arc(am, r1p, 1);
-  return stg;
-}
+using fixtures::celem_stg;
 
 TEST(Stg, Construction) {
   const Stg stg = celem_stg();

@@ -27,6 +27,42 @@ TEST(Check, MessageIsIncluded) {
   }
 }
 
+TEST(Check, WhatIncludesFileLineAndExpression) {
+  try {
+    XATPG_CHECK(2 + 2 == 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("check failed"), std::string::npos);
+  }
+}
+
+TEST(Check, IsALogicError) {
+  // Callers that only know std::logic_error must still be able to catch.
+  EXPECT_THROW(XATPG_CHECK(false), std::logic_error);
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  XATPG_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, UncaughtCheckTerminatesWithDiagnostic) {
+  // A CheckError escaping a noexcept boundary must reach std::terminate with
+  // the diagnostic visible on stderr (how a release-build tool dies when an
+  // invariant is violated outside any try block).
+  EXPECT_DEATH(
+      { []() noexcept { XATPG_CHECK_MSG(false, "fatal invariant " << 7); }(); },
+      "fatal invariant 7");
+}
+
 TEST(Rng, Deterministic) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
