@@ -8,7 +8,7 @@
 // fault-simulation column.
 #include "bench/table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xatpg;
   using namespace xatpg::benchtab;
 
@@ -17,6 +17,7 @@ int main() {
   options.random_budget = 12;
   options.random_walk_len = 6;
   options.seed = 1;
+  parse_flags(argc, argv, options);
 
   std::vector<Row> rows;
   for (const std::string& name : si_benchmark_names())

@@ -3,7 +3,10 @@
 // suite and prints the paper's columns.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,31 @@
 #include "util/timer.hpp"
 
 namespace xatpg::benchtab {
+
+/// Apply the shared command-line flags to `options`:
+///   --threads N   fault-parallel 3-phase workers (0 = hardware threads)
+/// Unknown arguments abort with a usage message.
+inline void parse_flags(int argc, char** argv, AtpgOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      // strtoul silently wraps negatives and saturates overflow — reject
+      // both along with trailing garbage.
+      if (end == value || *end != '\0' || value[0] == '-' ||
+          errno == ERANGE || parsed > 4096) {
+        std::fprintf(stderr, "invalid --threads value '%s'\n", value);
+        std::exit(2);
+      }
+      options.threads = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
 
 struct Row {
   std::string name;

@@ -31,6 +31,8 @@ int main() {
   AtpgOptions options;
   options.k = 24;            // max gate transitions per test cycle
   options.random_budget = 32;
+  options.threads = 2;       // fault-parallel 3-phase search (0 = all cores);
+                             // outcomes are identical for any thread count
   AtpgEngine engine(circuit, synth.reset_state, options);
 
   const CssgStats& cssg = engine.cssg().stats();

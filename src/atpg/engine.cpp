@@ -1,29 +1,47 @@
 #include "atpg/engine.hpp"
 
 #include <deque>
+#include <exception>
 #include <ostream>
+#include <thread>
 #include <unordered_set>
 
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/work_queue.hpp"
 
 namespace xatpg {
+
+namespace {
+
+std::size_t resolved_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
 
 AtpgEngine::AtpgEngine(const Netlist& netlist,
                        const std::vector<bool>& reset_state,
                        const AtpgOptions& options)
     : netlist_(&netlist), reset_state_(reset_state), options_(options) {
-  CssgOptions cssg_options;
-  cssg_options.k = options.k;
-  cssg_options.order = options.order;
-  cssg_ = std::make_unique<Cssg>(
-      netlist, std::vector<std::vector<bool>>{reset_state}, cssg_options);
+  cssg_ = build_shard();
   graph_ = cssg_->extract_explicit();
   const auto reset_id = graph_.find(reset_state);
   XATPG_CHECK(reset_id.has_value());
   reset_id_ = *reset_id;
+}
+
+std::unique_ptr<Cssg> AtpgEngine::build_shard() const {
+  CssgOptions cssg_options;
+  cssg_options.k = options_.k;
+  cssg_options.order = options_.order;
+  return std::make_unique<Cssg>(
+      *netlist_, std::vector<std::vector<bool>>{reset_state_}, cssg_options);
 }
 
 std::optional<std::vector<std::uint32_t>> AtpgEngine::follow(
@@ -47,8 +65,8 @@ std::optional<std::vector<std::uint32_t>> AtpgEngine::follow(
 // 3-phase ATPG
 // ---------------------------------------------------------------------------
 
-AtpgEngine::DiffResult AtpgEngine::differentiate(const Fault& fault,
-                                                 const TestSequence& prefix) {
+AtpgEngine::DiffResult AtpgEngine::differentiate(
+    const Fault& fault, const TestSequence& prefix) const {
   DiffResult result;
 
   // Replay the (justification) prefix on the faulty circuit.
@@ -115,8 +133,9 @@ AtpgEngine::DiffResult AtpgEngine::differentiate(const Fault& fault,
   return result;
 }
 
-bool AtpgEngine::provably_redundant(const Fault& fault) {
-  SymbolicEncoding& enc = cssg_->encoding();
+bool AtpgEngine::provably_redundant_on(const Cssg& shard,
+                                       const Fault& fault) const {
+  const SymbolicEncoding& enc = shard.encoding();
   const SignalId src = fault.site == Fault::Site::GatePin
                            ? netlist_->gate(fault.gate).fanins[fault.pin]
                            : fault.gate;
@@ -125,26 +144,33 @@ bool AtpgEngine::provably_redundant(const Fault& fault) {
   // The line never differs from the stuck value in any test-mode-reachable
   // state => the faulty circuit is trajectory-equivalent to the good one
   // (inductively: identical states produce identical successor sets).
-  return (cssg_->test_mode_reachable() & differs).is_false();
+  return (shard.test_mode_reachable() & differs).is_false();
 }
 
-std::optional<TestSequence> AtpgEngine::generate_test(const Fault& fault) {
+bool AtpgEngine::provably_redundant(const Fault& fault) const {
+  return provably_redundant_on(*cssg_, fault);
+}
+
+std::optional<TestSequence> AtpgEngine::generate_test_on(
+    const Cssg& shard, const Fault& fault) const {
   // Phase 1 — fault activation (§5.1): stable, valid-vector-reachable
   // states in which the faulted line carries the opposite of its stuck
   // value.
   TestSequence prefix;
   bool have_prefix = false;
   if (options_.use_activation) {
-    SymbolicEncoding& enc = cssg_->encoding();
+    const SymbolicEncoding& enc = shard.encoding();
     const SignalId src = fault.site == Fault::Site::GatePin
                              ? netlist_->gate(fault.gate).fanins[fault.pin]
                              : fault.gate;
     const Bdd lit = enc.cur(src);
     const Bdd excited = fault.stuck_value ? !lit : lit;
-    const Bdd activation = excited & cssg_->cssg_reachable();
+    const Bdd activation = excited & shard.cssg_reachable();
     if (!activation.is_false()) {
-      // Phase 2 — state justification via the onion rings (§5.2).
-      const auto just = cssg_->justify(activation);
+      // Phase 2 — state justification via the onion rings (§5.2).  The
+      // justification is a pure function of the canonical activation set,
+      // so every shard computes the identical prefix.
+      const auto just = shard.justify(activation);
       if (just) {
         prefix.vectors = just->vectors;
         have_prefix = true;
@@ -165,6 +191,122 @@ std::optional<TestSequence> AtpgEngine::generate_test(const Fault& fault) {
   return std::nullopt;
 }
 
+std::optional<TestSequence> AtpgEngine::generate_test(
+    const Fault& fault) const {
+  return generate_test_on(*cssg_, fault);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-parallel generation
+// ---------------------------------------------------------------------------
+
+void AtpgEngine::generate_parallel(
+    const std::vector<Fault>& faults, const std::vector<std::size_t>& todo,
+    std::vector<std::optional<TestSequence>>& generated) {
+  const std::size_t workers =
+      std::min(resolved_threads(options_.threads),
+               todo.empty() ? std::size_t{1} : todo.size());
+  if (workers <= 1) {
+    for (const std::size_t i : todo)
+      generated[i] = generate_test_on(*cssg_, faults[i]);
+    return;
+  }
+
+  // Workers claim coarse blocks of fault indices; each block is processed
+  // on the worker's private shard.  Writing generated[i] is race-free: every
+  // index is claimed by exactly one block.
+  ChunkedWorkQueue<std::size_t> queue(todo,
+                                      work_block_size(todo.size(), workers));
+  if (extra_shards_.size() < workers - 1) extra_shards_.resize(workers - 1);
+  std::vector<std::exception_ptr> errors(workers);
+  {
+    ThreadPool pool(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      pool.submit([&, w] {
+        try {
+          // Claim a block before (lazily) building the shard: a worker that
+          // never gets work must not pay for a full symbolic construction.
+          while (const auto block = queue.pop_block()) {
+            if (!extra_shards_[w - 1]) extra_shards_[w - 1] = build_shard();
+            const Cssg& shard = *extra_shards_[w - 1];
+            for (const std::size_t i : *block)
+              generated[i] = generate_test_on(shard, faults[i]);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    // The main thread is worker 0, on the engine's own context.
+    try {
+      while (const auto block = queue.pop_block())
+        for (const std::size_t i : *block)
+          generated[i] = generate_test_on(*cssg_, faults[i]);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic merge: cross fault simulation
+// ---------------------------------------------------------------------------
+
+void AtpgEngine::cross_simulate(
+    const std::vector<Fault>& faults,
+    const std::vector<std::optional<TestSequence>>& generated,
+    std::vector<std::unique_ptr<FaultSimulator>>& sims,
+    std::size_t committed, const TestSequence& seq,
+    const std::vector<std::uint32_t>& path, int seq_index,
+    AtpgResult& result) const {
+  std::vector<std::size_t> remaining;
+  for (std::size_t j = 0; j < faults.size(); ++j) {
+    if (j == committed) continue;
+    if (result.outcomes[j].covered_by != CoveredBy::None) continue;
+    if (result.outcomes[j].proven_redundant) continue;
+    remaining.push_back(j);
+  }
+  if (remaining.empty()) return;
+
+  // Word-parallel ternary screen, 64 lanes per batch (lane 0 carries the
+  // fault-free circuit, up to 63 lanes carry faults).  Sound: a ternary
+  // flag means every execution of the faulty circuit mismatches a strobe.
+  std::vector<bool> flagged(faults.size(), false);
+  for (std::size_t begin = 0; begin < remaining.size(); begin += 63) {
+    const std::size_t count = std::min<std::size_t>(63, remaining.size() - begin);
+    std::vector<Fault> batch;
+    batch.reserve(count);
+    for (std::size_t b = 0; b < count; ++b)
+      batch.push_back(faults[remaining[begin + b]]);
+    for (const std::size_t hit :
+         ternary_screen(*netlist_, reset_state_, batch, seq.vectors))
+      flagged[remaining[begin + hit]] = true;
+  }
+
+  for (const std::size_t j : remaining) {
+    // Exact pass for ternary flags (confirmation before attribution) and
+    // for faults whose own 3-phase search failed — for those the exact
+    // simulator is the only remaining chance at coverage, exactly as in the
+    // serial engine; skipping it would regress coverage where ternary is
+    // too conservative.
+    if (!flagged[j] && generated[j].has_value()) continue;
+    FaultSimulator& sim = *sims[j];
+    sim.restart();
+    DetectStatus status = sim.status();
+    for (std::size_t t = 0;
+         t < seq.vectors.size() && status == DetectStatus::Undetermined; ++t)
+      status = sim.step(seq.vectors[t], graph_.states[path[t + 1]]);
+    if (status == DetectStatus::Detected) {
+      result.outcomes[j].covered_by = CoveredBy::FaultSim;
+      result.outcomes[j].sequence_index = seq_index;
+      ++result.stats.by_fault_sim;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Full flow
 // ---------------------------------------------------------------------------
@@ -176,7 +318,8 @@ AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
   for (const Fault& f : faults) result.outcomes.push_back(FaultOutcome{f});
   result.stats.total_faults = faults.size();
 
-  // Long-lived exact simulators, one per fault.
+  // Long-lived exact simulators, one per fault — stepped along random walks
+  // first, restart()ed per committed sequence in the merge phase later.
   std::vector<std::unique_ptr<FaultSimulator>> sims;
   sims.reserve(faults.size());
   for (const Fault& f : faults)
@@ -235,39 +378,32 @@ AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
     }
   }
 
-  // --- 3-phase ATPG + fault simulation (§5.1–§5.4) ---------------------------
+  // --- fault-parallel 3-phase ATPG (§5.1–§5.3) -------------------------------
   Timer three_phase_timer;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (result.outcomes[i].covered_by == CoveredBy::None &&
+        !result.outcomes[i].proven_redundant)
+      todo.push_back(i);
+  std::vector<std::optional<TestSequence>> generated(faults.size());
+  generate_parallel(faults, todo, generated);
+
+  // --- deterministic merge + cross fault simulation (§5.4) -------------------
+  // Commit strictly in fault-list order; a fault already picked up by an
+  // earlier committed sequence's cross simulation discards its own test.
+  for (const std::size_t i : todo) {
     if (result.outcomes[i].covered_by != CoveredBy::None) continue;
-    if (result.outcomes[i].proven_redundant) continue;
-    const auto test = generate_test(faults[i]);
-    if (!test) continue;  // undetected (redundant or beyond caps)
+    if (!generated[i]) continue;  // undetected (redundant or beyond caps)
+    const int seq_index = static_cast<int>(result.sequences.size());
     result.outcomes[i].covered_by = CoveredBy::ThreePhase;
-    result.outcomes[i].sequence_index =
-        static_cast<int>(result.sequences.size());
+    result.outcomes[i].sequence_index = seq_index;
     ++result.stats.by_three_phase;
 
-    // Fault-simulate the new sequence on every remaining fault.
-    const auto path = follow(*test);
+    const auto path = follow(*generated[i]);
     XATPG_CHECK(path.has_value());
-    for (std::size_t j = 0; j < faults.size(); ++j) {
-      if (j == i || result.outcomes[j].covered_by != CoveredBy::None) continue;
-      sims[j]->restart();
-      if (sims[j]->status() != DetectStatus::Undetermined) continue;
-      for (std::size_t t = 0; t < test->vectors.size(); ++t) {
-        const DetectStatus status =
-            sims[j]->step(test->vectors[t], graph_.states[(*path)[t + 1]]);
-        if (status == DetectStatus::Detected) {
-          result.outcomes[j].covered_by = CoveredBy::FaultSim;
-          result.outcomes[j].sequence_index =
-              static_cast<int>(result.sequences.size());
-          ++result.stats.by_fault_sim;
-          break;
-        }
-        if (status != DetectStatus::Undetermined) break;
-      }
-    }
-    result.sequences.push_back(*test);
+    cross_simulate(faults, generated, sims, i, *generated[i], *path,
+                   seq_index, result);
+    result.sequences.push_back(*generated[i]);
   }
   result.stats.three_phase_seconds = three_phase_timer.seconds();
 

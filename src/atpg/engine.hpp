@@ -2,6 +2,27 @@
 // (fault activation / state justification / state differentiation), and
 // cross fault simulation of every generated sequence — with per-phase
 // statistics matching the paper's table columns (rnd / 3-ph / sim).
+//
+// Parallel architecture: the 3-phase search is embarrassingly parallel
+// across the fault list, so run() fans it out over `threads` workers.
+//   * Each worker owns a private symbolic shard — a full Cssg (its own
+//     BddManager + SymbolicEncoding + relations) built once per worker from
+//     the shared read-only netlist and reused across run() calls.  BDD
+//     managers are single-threaded by contract (bdd/bdd.hpp); sharding
+//     sidesteps all symbolic-layer locking.
+//   * The explicit CSSG and the netlist are shared read-only by all workers
+//     (the const query path: ExplicitCssg lookups, FaultSimulator replay).
+//   * Faults are distributed through a chunked MPMC work queue
+//     (util/work_queue.hpp): workers claim coarse blocks of fault indices
+//     with one atomic op per block, so imbalanced per-fault search cost
+//     still load-balances without a contended head pointer.
+//   * The merge is deterministic: every still-uncovered fault's test is
+//     generated up front (each fault's search depends only on the fault, not
+//     on scheduling), then outcomes are committed strictly in fault-list
+//     order, and cross fault simulation of each committed sequence (the
+//     paper's "sim" column) runs as a post-merge word-parallel ternary pass
+//     in 64-lane batches (+ exact confirmation).  Results are therefore
+//     byte-identical for any thread count, including threads=1.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +47,11 @@ struct AtpgOptions {
   std::size_t diff_node_cap = 20000;     ///< differentiation BFS nodes
   /// Wall-clock budget per fault for the 3-phase search (the classic ATPG
   /// backtrack limit, in time units): exceeded => fault left undetected.
+  /// NOTE: this is the one nondeterministic cap — under heavy load a search
+  /// can time out that otherwise would not.  The deterministic caps
+  /// (diff_depth / diff_node_cap) bind long before it on every shipped
+  /// benchmark; raise it when exercising the cross-thread determinism
+  /// guarantee under slow sanitizers.
   double per_fault_seconds = 2.0;
   FaultSimOptions sim;
   /// Phase 1+2 enabled (ablation: false forces pure differentiation BFS
@@ -37,12 +63,18 @@ struct AtpgOptions {
   /// state a legal test session can pass through.  Sound; skips the
   /// 3-phase search for proven faults.
   bool classify_undetectable = false;
+  /// Worker threads for the fault-parallel 3-phase search.  1 = run on the
+  /// engine's own symbolic context only; 0 = one worker per hardware
+  /// thread.  Outcomes and sequences are byte-identical for every value.
+  std::size_t threads = 1;
 };
 
 /// One synchronous test: input vectors applied from reset, one per test
 /// cycle.
 struct TestSequence {
   std::vector<std::vector<bool>> vectors;
+
+  bool operator==(const TestSequence&) const = default;
 };
 
 enum class CoveredBy : std::uint8_t {
@@ -58,6 +90,8 @@ struct FaultOutcome {
   int sequence_index = -1;  ///< index into AtpgResult::sequences
   /// Proven undetectable by the a-priori classifier (covered_by == None).
   bool proven_redundant = false;
+
+  bool operator==(const FaultOutcome&) const = default;
 };
 
 struct AtpgStats {
@@ -86,7 +120,9 @@ struct AtpgResult {
 };
 
 /// ATPG driver bound to one circuit + reset state.  The CSSG is computed
-/// once and shared across fault universes (run() can be called repeatedly).
+/// once and shared across fault universes (run() can be called repeatedly);
+/// worker shards are likewise built once per worker slot and reused by
+/// later run() calls on the same engine.
 class AtpgEngine {
  public:
   AtpgEngine(const Netlist& netlist, const std::vector<bool>& reset_state,
@@ -96,20 +132,21 @@ class AtpgEngine {
   const ExplicitCssg& graph() const { return graph_; }
   const AtpgOptions& options() const { return options_; }
 
-  /// Run the full flow (random TPG -> 3-phase -> fault simulation) on the
-  /// given fault universe.
+  /// Run the full flow (random TPG -> fault-parallel 3-phase ->
+  /// deterministic merge with cross fault simulation) on the given fault
+  /// universe.
   AtpgResult run(const std::vector<Fault>& faults);
 
   /// 3-phase ATPG for a single fault; returns the test sequence (from
   /// reset) or nullopt if the search space is exhausted (fault redundant or
   /// beyond the caps).
-  std::optional<TestSequence> generate_test(const Fault& fault);
+  std::optional<TestSequence> generate_test(const Fault& fault) const;
 
   /// True if the a-priori classifier proves the fault undetectable: the
   /// faulted line equals the stuck value in every state any legal test can
   /// drive the circuit through (stable or transient), so the fault can
   /// never change any gate's behaviour during test.
-  bool provably_redundant(const Fault& fault);
+  bool provably_redundant(const Fault& fault) const;
 
   /// Good-circuit states visited by a sequence (from reset); nullopt if a
   /// vector is not a valid CSSG edge.
@@ -121,7 +158,32 @@ class AtpgEngine {
     bool found = false;
     TestSequence sequence;
   };
-  DiffResult differentiate(const Fault& fault, const TestSequence& prefix);
+  /// Phase 3 BFS.  Touches only shared read-only state (netlist, explicit
+  /// graph) — safe from any worker.
+  DiffResult differentiate(const Fault& fault, const TestSequence& prefix) const;
+  /// 3-phase search against a specific symbolic shard (phases 1+2 run on
+  /// the shard's BddManager; phase 3 on the shared explicit graph).
+  std::optional<TestSequence> generate_test_on(const Cssg& shard,
+                                               const Fault& fault) const;
+  bool provably_redundant_on(const Cssg& shard, const Fault& fault) const;
+  /// A fresh worker shard: the same Cssg the constructor builds.
+  std::unique_ptr<Cssg> build_shard() const;
+  /// Fan the 3-phase search for `todo` (fault indices) out over the worker
+  /// shards; fills `generated` slots.
+  void generate_parallel(const std::vector<Fault>& faults,
+                         const std::vector<std::size_t>& todo,
+                         std::vector<std::optional<TestSequence>>& generated);
+  /// Post-merge cross fault simulation of one committed sequence: 64-lane
+  /// ternary screen over the remaining uncovered faults, exact confirmation
+  /// of every flag, exact fallback for faults with no generated test.
+  /// `sims` are the long-lived per-fault exact simulators (restart()ed per
+  /// sequence, as in the random phase).
+  void cross_simulate(const std::vector<Fault>& faults,
+                      const std::vector<std::optional<TestSequence>>& generated,
+                      std::vector<std::unique_ptr<FaultSimulator>>& sims,
+                      std::size_t committed, const TestSequence& seq,
+                      const std::vector<std::uint32_t>& path, int seq_index,
+                      AtpgResult& result) const;
 
   const Netlist* netlist_;
   std::vector<bool> reset_state_;
@@ -129,6 +191,9 @@ class AtpgEngine {
   std::unique_ptr<Cssg> cssg_;
   ExplicitCssg graph_;
   std::uint32_t reset_id_ = 0;
+  /// Lazily built per-worker shards (slot w serves pool worker w); the main
+  /// thread always works on cssg_.  Reused by subsequent run() calls.
+  std::vector<std::unique_ptr<Cssg>> extra_shards_;
 };
 
 /// Tester-facing export: vectors and expected primary-output responses per

@@ -13,6 +13,22 @@
 //  * Variable order is the creation order (var == level).  The symbolic
 //    encoding layer (src/sgraph) chooses the interleaving; the ordering
 //    ablation bench exercises different static assignments.
+//
+// Thread-safety contract:
+//  * A BddManager and every Bdd handle attached to it are confined to ONE
+//    thread at a time.  There is no internal synchronization: every
+//    operation — including logically read-only queries like sat_count or
+//    eval — mutates shared manager state (the handle registry, the unique
+//    table, the computed cache, and GC bookkeeping).  Copying a Bdd handle
+//    alone writes the manager's registry list.
+//  * Concurrent use of DIFFERENT managers from different threads is safe;
+//    managers share no global state.  This is the sharding model the
+//    fault-parallel ATPG engine uses: one BddManager (inside one
+//    SymbolicEncoding + Cssg) per worker thread, built from the shared
+//    read-only netlist (see src/atpg/engine.cpp).
+//  * Handles must never outlive their manager on another thread, and a Bdd
+//    from one manager must never be passed to another manager's operations
+//    (enforced by XATPG_CHECK at every public entry point).
 #pragma once
 
 #include <cstdint>
@@ -140,8 +156,13 @@ class BddManager {
   /// Sorted list of variables occurring in f.
   std::vector<std::uint32_t> support_vars(const Bdd& f);
 
-  /// Number of satisfying assignments of f over `nvars` variables.
-  double sat_count(const Bdd& f, std::uint32_t nvars);
+  /// Number of satisfying assignments of f over `nvars` variables, divided
+  /// by 2^divide_exp.  The division happens on the internal
+  /// mantissa/exponent representation, so ratios like "states over a
+  /// sub-universe" stay representable even when the raw count would
+  /// overflow double (which throws CheckError).
+  double sat_count(const Bdd& f, std::uint32_t nvars,
+                   std::int64_t divide_exp = 0);
 
   /// Extract one satisfying assignment over the given variables; entries for
   /// variables f does not constrain are DontCare.  Precondition: !f.is_false().
@@ -171,6 +192,13 @@ class BddManager {
   std::size_t collect_garbage();
   /// Collections performed so far (statistic for the ordering ablation).
   std::size_t gc_count() const { return gc_count_; }
+
+  /// Allocated-node watermark that triggers a collection at the next public
+  /// operation entry.  Exposed so stress tests can force a GC at every op
+  /// entry (threshold 0 never doubles back up) and validate the "GC only at
+  /// op entry" invariant the recursive cores rely on.
+  std::size_t gc_threshold() const { return gc_threshold_; }
+  void set_gc_threshold(std::size_t threshold) { gc_threshold_ = threshold; }
 
   /// Peak allocated node count observed (statistic).
   std::size_t peak_nodes() const { return peak_nodes_; }

@@ -102,15 +102,33 @@ Bdd Bdd::high() const {
   return Bdd(mgr_, mgr_->nodes_[idx_].hi);
 }
 
-Bdd Bdd::operator&(const Bdd& rhs) const { return mgr_->apply_and(*this, rhs); }
-Bdd Bdd::operator|(const Bdd& rhs) const { return mgr_->apply_or(*this, rhs); }
-Bdd Bdd::operator^(const Bdd& rhs) const { return mgr_->apply_xor(*this, rhs); }
-Bdd Bdd::operator!() const { return mgr_->apply_not(*this); }
+// A default-constructed handle has mgr_ == nullptr; combinators used to
+// dereference it straight away.  Check here so the failure names the handle
+// instead of segfaulting, then let the manager entry points enforce that
+// both operands belong to the same manager.
+Bdd Bdd::operator&(const Bdd& rhs) const {
+  XATPG_CHECK_MSG(valid(), "operator& on an invalid (default-constructed) Bdd");
+  return mgr_->apply_and(*this, rhs);
+}
+Bdd Bdd::operator|(const Bdd& rhs) const {
+  XATPG_CHECK_MSG(valid(), "operator| on an invalid (default-constructed) Bdd");
+  return mgr_->apply_or(*this, rhs);
+}
+Bdd Bdd::operator^(const Bdd& rhs) const {
+  XATPG_CHECK_MSG(valid(), "operator^ on an invalid (default-constructed) Bdd");
+  return mgr_->apply_xor(*this, rhs);
+}
+Bdd Bdd::operator!() const {
+  XATPG_CHECK_MSG(valid(), "operator! on an invalid (default-constructed) Bdd");
+  return mgr_->apply_not(*this);
+}
 Bdd& Bdd::operator&=(const Bdd& rhs) { return *this = *this & rhs; }
 Bdd& Bdd::operator|=(const Bdd& rhs) { return *this = *this | rhs; }
 Bdd& Bdd::operator^=(const Bdd& rhs) { return *this = *this ^ rhs; }
 
 bool Bdd::implies(const Bdd& rhs) const {
+  XATPG_CHECK_MSG(valid() && rhs.valid(),
+                  "implies() on an invalid (default-constructed) Bdd");
   // f -> g  ===  f & !g == false
   return (*this & !rhs).is_false();
 }
@@ -197,6 +215,11 @@ std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
     free_head_ = nodes_[idx].next;
     --free_count_;
   } else {
+    // Node indices are 32-bit and kNil is reserved; past that point the
+    // computed-cache key packing (operands in 32-bit lanes) would silently
+    // alias, so refuse loudly instead.
+    XATPG_CHECK_MSG(nodes_.size() < static_cast<std::size_t>(kNil),
+                    "BDD node arena exhausted (2^32-1 nodes)");
     idx = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back({});
   }
@@ -279,8 +302,25 @@ std::size_t BddManager::collect_garbage() {
 // Computed cache
 // ---------------------------------------------------------------------------
 
+namespace {
+// Key packing assumes a and b fit in 32-bit lanes of key_lo and c fits below
+// the op tag's 40-bit shift in key_hi.  Operands are node indices (32-bit by
+// construction, see the arena capacity check in unique_lookup) or small
+// scalars (variable ids, permutation ids, cofactor keys), but a silent
+// aliasing here corrupts results instead of crashing — so guard the pack
+// site itself against any future widening.
+inline void check_cache_key_widths(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c) {
+  XATPG_CHECK_MSG((a >> 32) == 0 && (b >> 32) == 0 && (c >> 40) == 0,
+                  "computed-cache operand exceeds packed key width");
+}
+}  // namespace
+
 std::uint32_t BddManager::cache_lookup(Op op, std::uint64_t a, std::uint64_t b,
                                        std::uint64_t c) const {
+  static_assert(static_cast<std::uint64_t>(Op::Cofactor) < (1ull << 24),
+                "op tag must survive the 40-bit shift in key_hi");
+  check_cache_key_widths(a, b, c);
   const std::uint64_t key_lo = a | (b << 32);
   const std::uint64_t key_hi = (static_cast<std::uint64_t>(op) << 40) | c;
   const std::size_t slot = hash3(key_lo, key_hi, 0) & cache_mask_;
@@ -291,6 +331,7 @@ std::uint32_t BddManager::cache_lookup(Op op, std::uint64_t a, std::uint64_t b,
 
 void BddManager::cache_insert(Op op, std::uint64_t a, std::uint64_t b,
                               std::uint64_t c, std::uint32_t result) {
+  check_cache_key_widths(a, b, c);
   const std::uint64_t key_lo = a | (b << 32);
   const std::uint64_t key_hi = (static_cast<std::uint64_t>(op) << 40) | c;
   const std::size_t slot = hash3(key_lo, key_hi, 0) & cache_mask_;

@@ -14,6 +14,20 @@ namespace {
 constexpr std::uint32_t kVarTerminalLocal = 0xffffffffu;
 }
 
+// Every public operation entry must reject operands from a different
+// manager (node indices are meaningless across arenas — mixing silently
+// computes garbage) and invalid handles (null manager deref).  ite() always
+// enforced this; these macros extend the same guard to the other entry
+// points.
+#define XATPG_CHECK_SAME_MGR1(f)                                            \
+  XATPG_CHECK_MSG((f).manager() == this,                                    \
+                  "Bdd operand is invalid or belongs to a different manager")
+#define XATPG_CHECK_SAME_MGR2(f, g)                                         \
+  do {                                                                      \
+    XATPG_CHECK_SAME_MGR1(f);                                               \
+    XATPG_CHECK_SAME_MGR1(g);                                               \
+  } while (0)
+
 // ---------------------------------------------------------------------------
 // ite
 // ---------------------------------------------------------------------------
@@ -69,22 +83,26 @@ std::uint32_t BddManager::not_rec(std::uint32_t f) {
 }
 
 Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
+  XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
   return Bdd(this, ite_rec(f.index(), g.index(), 0));
 }
 
 Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
+  XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
   return Bdd(this, ite_rec(f.index(), 1, g.index()));
 }
 
 Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
+  XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
   const std::uint32_t ng = not_rec(g.index());
   return Bdd(this, ite_rec(f.index(), ng, g.index()));
 }
 
 Bdd BddManager::apply_not(const Bdd& f) {
+  XATPG_CHECK_SAME_MGR1(f);
   maybe_gc();
   return Bdd(this, not_rec(f.index()));
 }
@@ -94,11 +112,13 @@ Bdd BddManager::apply_not(const Bdd& f) {
 // ---------------------------------------------------------------------------
 
 Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  XATPG_CHECK_SAME_MGR2(f, cube);
   maybe_gc();
   return Bdd(this, quant_rec(f.index(), cube.index(), /*universal=*/false));
 }
 
 Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  XATPG_CHECK_SAME_MGR2(f, cube);
   maybe_gc();
   return Bdd(this, quant_rec(f.index(), cube.index(), /*universal=*/true));
 }
@@ -132,6 +152,8 @@ std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
 }
 
 Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  XATPG_CHECK_SAME_MGR2(f, g);
+  XATPG_CHECK_SAME_MGR1(cube);
   maybe_gc();
   return Bdd(this, and_exists_rec(f.index(), g.index(), cube.index()));
 }
@@ -180,6 +202,7 @@ std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
 // ---------------------------------------------------------------------------
 
 Bdd BddManager::permute(const Bdd& f, const std::vector<std::uint32_t>& var_map) {
+  XATPG_CHECK_SAME_MGR1(f);
   XATPG_CHECK(var_map.size() == num_vars_);
   maybe_gc();
   const std::uint32_t perm_id = register_perm(var_map);
@@ -204,6 +227,7 @@ std::uint32_t BddManager::permute_rec(
 }
 
 Bdd BddManager::compose(const Bdd& f, std::uint32_t v, const Bdd& g) {
+  XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
   return Bdd(this, compose_rec(f.index(), v, g.index()));
 }
@@ -229,6 +253,7 @@ std::uint32_t BddManager::compose_rec(std::uint32_t f, std::uint32_t v,
 }
 
 Bdd BddManager::cofactor(const Bdd& f, std::uint32_t v, bool phase) {
+  XATPG_CHECK_SAME_MGR1(f);
   maybe_gc();
   return Bdd(this, cofactor_rec(f.index(), v, phase));
 }
@@ -255,6 +280,7 @@ std::uint32_t BddManager::cofactor_rec(std::uint32_t f, std::uint32_t v,
 // ---------------------------------------------------------------------------
 
 std::vector<std::uint32_t> BddManager::support_vars(const Bdd& f) {
+  XATPG_CHECK_SAME_MGR1(f);
   std::vector<bool> in_support(num_vars_, false);
   std::vector<bool> seen(nodes_.size(), false);
   std::vector<std::uint32_t> stack;
@@ -303,34 +329,73 @@ Bdd BddManager::make_minterm(const std::vector<std::uint32_t>& vars,
   return Bdd(this, acc);
 }
 
-double BddManager::sat_count(const Bdd& f, std::uint32_t nvars) {
-  std::unordered_map<std::uint32_t, double> memo;
+double BddManager::sat_count(const Bdd& f, std::uint32_t nvars,
+                             std::int64_t divide_exp) {
+  XATPG_CHECK_SAME_MGR1(f);
+  // Counts are kept as mantissa * 2^exponent with the exponent tracked
+  // separately: the plain-double formulation (weights of 2^gap per skipped
+  // level) overflows to inf past ~1023 effective variables, silently turning
+  // every downstream statistic into inf/nan.  With the split representation
+  // only the final conversion can overflow, and that is checked.
+  struct Scaled {
+    double m = 0;  // 0, or in [0.5, 1) after normalization
+    std::int64_t e = 0;
+  };
+  const auto normalize = [](Scaled s) {
+    if (s.m == 0) return Scaled{0, 0};
+    int shift = 0;
+    s.m = std::frexp(s.m, &shift);
+    s.e += shift;
+    return s;
+  };
+  const auto add = [&](Scaled a, Scaled b) {
+    if (a.m == 0) return b;
+    if (b.m == 0) return a;
+    if (a.e < b.e) std::swap(a, b);
+    // b is at most 2^64 below a; beyond double precision it vanishes, which
+    // is the same rounding the all-double version performed.
+    const std::int64_t down = b.e - a.e;
+    a.m += down < -1074 ? 0.0 : std::ldexp(b.m, static_cast<int>(down));
+    return normalize(a);
+  };
+
+  std::unordered_map<std::uint32_t, Scaled> memo;
   // rec(n) = number of assignments of variables in [var(n), nvars) that
   // satisfy n; terminals behave as var == nvars.
   auto var_of = [&](std::uint32_t n) -> std::uint32_t {
     return (n <= 1) ? nvars : nodes_[n].var;
   };
-  auto rec = [&](auto&& self, std::uint32_t n) -> double {
-    if (n == 0) return 0.0;
-    if (n == 1) return 1.0;
+  auto rec = [&](auto&& self, std::uint32_t n) -> Scaled {
+    if (n == 0) return Scaled{0, 0};
+    if (n == 1) return Scaled{0.5, 1};
     auto it = memo.find(n);
     if (it != memo.end()) return it->second;
     const Node nn = nodes_[n];
-    const double cl = self(self, nn.lo) *
-                      std::pow(2.0, var_of(nn.lo) - nn.var - 1);
-    const double ch = self(self, nn.hi) *
-                      std::pow(2.0, var_of(nn.hi) - nn.var - 1);
-    const double result = cl + ch;
+    Scaled cl = self(self, nn.lo);
+    cl.e += var_of(nn.lo) - nn.var - 1;
+    Scaled ch = self(self, nn.hi);
+    ch.e += var_of(nn.hi) - nn.var - 1;
+    const Scaled result = add(cl, ch);
     memo.emplace(n, result);
     return result;
   };
-  if (f.index() == 1) return std::pow(2.0, nvars);
-  if (f.index() == 0) return 0.0;
-  return rec(rec, f.index()) * std::pow(2.0, nodes_[f.index()].var);
+
+  Scaled total = rec(rec, f.index());
+  // Variables above the root are free: scale by 2^var(root) (terminals act
+  // as var == nvars, making the constants 0 and 2^nvars).
+  total.e += var_of(f.index());
+  total.e -= divide_exp;
+  const double out = std::ldexp(total.m, static_cast<int>(
+      std::clamp<std::int64_t>(total.e, -100000, 100000)));
+  XATPG_CHECK_MSG(std::isfinite(out),
+                  "sat_count overflows double (count ~ 2^" << total.e
+                      << "); reduce the variable universe or divide_exp");
+  return out;
 }
 
 std::vector<Tri> BddManager::pick_minterm(
     const Bdd& f, const std::vector<std::uint32_t>& vars) {
+  XATPG_CHECK_SAME_MGR1(f);
   XATPG_CHECK_MSG(!f.is_false(), "cannot pick a minterm of the zero function");
   std::vector<Tri> by_var(num_vars_, Tri::DontCare);
   std::uint32_t n = f.index();
@@ -352,6 +417,7 @@ std::vector<Tri> BddManager::pick_minterm(
 
 std::vector<std::vector<bool>> BddManager::all_minterms(
     const Bdd& f, const std::vector<std::uint32_t>& vars, std::size_t limit) {
+  XATPG_CHECK_SAME_MGR1(f);
   for (std::size_t i = 1; i < vars.size(); ++i)
     XATPG_CHECK_MSG(vars[i - 1] < vars[i], "vars must be strictly ascending");
   std::vector<std::vector<bool>> out;
@@ -387,6 +453,7 @@ std::vector<std::vector<bool>> BddManager::all_minterms(
 }
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
+  XATPG_CHECK_SAME_MGR1(f);
   std::uint32_t n = f.index();
   while (n > 1) {
     const Node nn = nodes_[n];

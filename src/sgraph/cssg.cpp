@@ -121,8 +121,8 @@ void Cssg::build_tcr_and_prune() {
     a = a_next;
   }
   tcr_ = a;
-  stats_.tcr_pairs = mgr.sat_count(tcr_, mgr.num_vars()) /
-                     std::pow(2.0, static_cast<double>(enc_.num_signals()));
+  const auto n_signals = static_cast<std::int64_t>(enc_.num_signals());
+  stats_.tcr_pairs = mgr.sat_count(tcr_, mgr.num_vars(), n_signals);
 
   // Sibling analysis: compare the outcome y against every other k-step
   // outcome w of the same source state x and the same input pattern.
@@ -147,11 +147,11 @@ void Cssg::build_tcr_and_prune() {
   const Bdd stable_y = enc_.cur_to_next(enc_.stable());
   cssg_ = tcr_ & stable_y & !nonconf & !unstable;
 
-  const double denom = std::pow(2.0, static_cast<double>(enc_.num_signals()));
-  stats_.nonconfluent_pairs = mgr.sat_count(nonconf, mgr.num_vars()) / denom;
+  stats_.nonconfluent_pairs =
+      mgr.sat_count(nonconf, mgr.num_vars(), n_signals);
   stats_.unstable_pairs =
-      mgr.sat_count(unstable & !nonconf, mgr.num_vars()) / denom;
-  stats_.cssg_edges = mgr.sat_count(cssg_, mgr.num_vars()) / denom;
+      mgr.sat_count(unstable & !nonconf, mgr.num_vars(), n_signals);
+  stats_.cssg_edges = mgr.sat_count(cssg_, mgr.num_vars(), n_signals);
 }
 
 void Cssg::build_rings() {
@@ -172,7 +172,7 @@ void Cssg::build_rings() {
   stats_.cssg_reachable_states = enc_.count_states_cur(cssg_reachable_);
 }
 
-const Bdd& Cssg::test_mode_reachable() {
+const Bdd& Cssg::test_mode_reachable() const {
   if (test_mode_reachable_built_) return test_mode_reachable_;
   BddManager& mgr = enc_.mgr();
 
@@ -202,12 +202,12 @@ const Bdd& Cssg::test_mode_reachable() {
   return test_mode_reachable_;
 }
 
-Bdd Cssg::image(const Bdd& states) {
+Bdd Cssg::image(const Bdd& states) const {
   return enc_.next_to_cur(
       enc_.mgr().and_exists(cssg_, states, enc_.cur_cube()));
 }
 
-Bdd Cssg::preimage(const Bdd& states) {
+Bdd Cssg::preimage(const Bdd& states) const {
   const Bdd states_next = enc_.cur_to_next(states);
   return enc_.mgr().exists(cssg_ & states_next, enc_.next_cube());
 }
@@ -219,7 +219,7 @@ std::vector<bool> Cssg::input_values_of(const std::vector<bool>& state) const {
   return values;
 }
 
-std::optional<Justification> Cssg::justify(const Bdd& targets) {
+std::optional<Justification> Cssg::justify(const Bdd& targets) const {
   // Find the innermost onion ring touching the target set, then walk the
   // rings backwards picking one concrete predecessor per step.
   std::size_t hit = rings_.size();
@@ -246,7 +246,7 @@ std::optional<Justification> Cssg::justify(const Bdd& targets) {
   return result;
 }
 
-ExplicitCssg Cssg::extract_explicit() {
+ExplicitCssg Cssg::extract_explicit() const {
   ExplicitCssg graph;
   const auto add_state = [&](const std::vector<bool>& state) -> std::uint32_t {
     const std::string k = ExplicitCssg::key(state);
@@ -283,7 +283,7 @@ ExplicitCssg Cssg::extract_explicit() {
   return graph;
 }
 
-std::string Cssg::to_dot() {
+std::string Cssg::to_dot() const {
   const ExplicitCssg graph = extract_explicit();
   const auto& inputs = enc_.netlist().inputs();
   std::ostringstream os;

@@ -85,6 +85,7 @@ class Cssg {
 
   const Netlist& netlist() const { return enc_.netlist(); }
   SymbolicEncoding& encoding() { return enc_; }
+  const SymbolicEncoding& encoding() const { return enc_; }
   const CssgOptions& options() const { return options_; }
 
   // --- symbolic artifacts (cur / (cur,next) variable supports) -------------
@@ -105,25 +106,29 @@ class Cssg {
   /// any test — the basis of a-priori undetectable-fault classification
   /// (the §6 "finding out a priori undetectable faults" improvement).
   /// Computed lazily on first use.
-  const Bdd& test_mode_reachable();
+  const Bdd& test_mode_reachable() const;
 
   const CssgStats& stats() const { return stats_; }
 
   // --- queries ---------------------------------------------------------------
+  // All queries are `const` in the same logical sense as SymbolicEncoding's:
+  // results depend only on the constructed abstraction, while BDD caches
+  // mutate underneath.  They are NOT concurrency-safe — one thread per Cssg
+  // (the fault-parallel engine builds one shard per worker).
   /// Successor states (over cur) of `states` (over cur) via CSSG edges.
-  Bdd image(const Bdd& states);
+  Bdd image(const Bdd& states) const;
   /// Predecessor states of `states` via CSSG edges.
-  Bdd preimage(const Bdd& states);
+  Bdd preimage(const Bdd& states) const;
 
   /// Shortest valid-vector sequence from a reset state to any state in
   /// `targets` (a cur-set); nullopt if unreachable via valid vectors.
-  std::optional<Justification> justify(const Bdd& targets);
+  std::optional<Justification> justify(const Bdd& targets) const;
 
   /// Enumerate the explicit CSSG reachable from the reset states.
-  ExplicitCssg extract_explicit();
+  ExplicitCssg extract_explicit() const;
 
   /// Graphviz dump of the explicit CSSG (stable states and valid vectors).
-  std::string to_dot();
+  std::string to_dot() const;
 
  private:
   void build_relations();
@@ -140,8 +145,8 @@ class Cssg {
   Bdd cssg_reachable_;
   std::vector<Bdd> rings_;
   Bdd reset_set_;
-  Bdd test_mode_reachable_;
-  bool test_mode_reachable_built_ = false;
+  mutable Bdd test_mode_reachable_;
+  mutable bool test_mode_reachable_built_ = false;
   CssgStats stats_;
 };
 

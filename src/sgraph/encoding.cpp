@@ -75,17 +75,17 @@ void SymbolicEncoding::build_layout(VarOrder order) {
   }
 }
 
-Bdd SymbolicEncoding::state_minterm_cur(const std::vector<bool>& state) {
+Bdd SymbolicEncoding::state_minterm_cur(const std::vector<bool>& state) const {
   XATPG_CHECK(state.size() == num_signals());
   return mgr_.make_minterm(cur_vars_, state);
 }
 
-Bdd SymbolicEncoding::state_minterm_next(const std::vector<bool>& state) {
+Bdd SymbolicEncoding::state_minterm_next(const std::vector<bool>& state) const {
   XATPG_CHECK(state.size() == num_signals());
   return mgr_.make_minterm(next_vars_, state);
 }
 
-std::vector<bool> SymbolicEncoding::pick_state_cur(const Bdd& set) {
+std::vector<bool> SymbolicEncoding::pick_state_cur(const Bdd& set) const {
   const auto tri = mgr_.pick_minterm(set, cur_vars_);
   std::vector<bool> state(num_signals());
   for (SignalId s = 0; s < num_signals(); ++s)
@@ -121,16 +121,16 @@ std::vector<std::vector<bool>> enum_states_over(
 }  // namespace
 
 std::vector<std::vector<bool>> SymbolicEncoding::all_states_cur(
-    const Bdd& set, std::size_t limit) {
+    const Bdd& set, std::size_t limit) const {
   return enum_states_over(mgr_, set, cur_vars_, limit);
 }
 
 std::vector<std::vector<bool>> SymbolicEncoding::all_states_next(
-    const Bdd& set, std::size_t limit) {
+    const Bdd& set, std::size_t limit) const {
   return enum_states_over(mgr_, set, next_vars_, limit);
 }
 
-Bdd SymbolicEncoding::target(SignalId s) {
+Bdd SymbolicEncoding::target(SignalId s) const {
   if (target_cache_[s].valid()) return target_cache_[s];
   const Gate& g = netlist_->gate(s);
   Bdd result;
@@ -146,7 +146,7 @@ Bdd SymbolicEncoding::target(SignalId s) {
   return result;
 }
 
-Bdd SymbolicEncoding::stable() {
+Bdd SymbolicEncoding::stable() const {
   if (stable_built_) return stable_cache_;
   Bdd acc = mgr_.bdd_true();
   for (SignalId s = 0; s < num_signals(); ++s) {
@@ -158,12 +158,14 @@ Bdd SymbolicEncoding::stable() {
   return stable_cache_;
 }
 
-Bdd SymbolicEncoding::eq_cur_next(SignalId s) { return !(cur(s) ^ next(s)); }
+Bdd SymbolicEncoding::eq_cur_next(SignalId s) const { return !(cur(s) ^ next(s)); }
 
-double SymbolicEncoding::count_states_cur(const Bdd& set) {
-  // sat_count over the full 3n universe counts each cur-state 2^(2n) times.
-  const double total = mgr_.sat_count(set, mgr_.num_vars());
-  return total / std::pow(2.0, 2.0 * static_cast<double>(num_signals()));
+double SymbolicEncoding::count_states_cur(const Bdd& set) const {
+  // sat_count over the full 3n universe counts each cur-state 2^(2n) times;
+  // divide on sat_count's internal exponent so the raw count never has to
+  // fit in a double (it would overflow past ~340 signals).
+  return mgr_.sat_count(set, mgr_.num_vars(),
+                        2 * static_cast<std::int64_t>(num_signals()));
 }
 
 }  // namespace xatpg

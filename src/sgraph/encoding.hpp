@@ -29,12 +29,20 @@ enum class VarOrder {
 const char* var_order_name(VarOrder order);
 
 /// Owns the BddManager and the variable layout for one netlist.
+///
+/// Every query below is `const`: they are logically read-only (the encoding's
+/// observable artifacts never change after construction), even though the
+/// underlying BddManager mutates its unique table, computed cache and memo
+/// caches internally — hence the mutable members.  `const` here means
+/// "logically read-only", NOT "safe to call concurrently": the manager's
+/// thread-safety contract (one thread per manager, see bdd/bdd.hpp) still
+/// applies.  Cross-thread users shard — one SymbolicEncoding per worker.
 class SymbolicEncoding {
  public:
   SymbolicEncoding(const Netlist& netlist, VarOrder order = VarOrder::Interleaved);
 
   const Netlist& netlist() const { return *netlist_; }
-  BddManager& mgr() { return mgr_; }
+  BddManager& mgr() const { return mgr_; }
   std::size_t num_signals() const { return netlist_->num_signals(); }
 
   std::uint32_t cur_var(SignalId s) const { return cur_vars_[s]; }
@@ -42,49 +50,49 @@ class SymbolicEncoding {
   std::uint32_t aux_var(SignalId s) const { return aux_vars_[s]; }
 
   /// Positive literal of signal s in each group.
-  Bdd cur(SignalId s) { return mgr_.var(cur_vars_[s]); }
-  Bdd next(SignalId s) { return mgr_.var(next_vars_[s]); }
-  Bdd aux(SignalId s) { return mgr_.var(aux_vars_[s]); }
+  Bdd cur(SignalId s) const { return mgr_.var(cur_vars_[s]); }
+  Bdd next(SignalId s) const { return mgr_.var(next_vars_[s]); }
+  Bdd aux(SignalId s) const { return mgr_.var(aux_vars_[s]); }
 
   /// Quantification cubes per group.
-  Bdd cur_cube() { return mgr_.make_cube(cur_vars_); }
-  Bdd next_cube() { return mgr_.make_cube(next_vars_); }
-  Bdd aux_cube() { return mgr_.make_cube(aux_vars_); }
+  Bdd cur_cube() const { return mgr_.make_cube(cur_vars_); }
+  Bdd next_cube() const { return mgr_.make_cube(next_vars_); }
+  Bdd aux_cube() const { return mgr_.make_cube(aux_vars_); }
 
   /// Group renamings (cur<->next, next->aux, cur->aux; other groups fixed).
-  Bdd cur_to_next(const Bdd& f) { return mgr_.permute(f, perm_cur_next_); }
-  Bdd next_to_cur(const Bdd& f) { return mgr_.permute(f, perm_cur_next_); }
-  Bdd next_to_aux(const Bdd& f) { return mgr_.permute(f, perm_next_aux_); }
-  Bdd aux_to_next(const Bdd& f) { return mgr_.permute(f, perm_next_aux_); }
-  Bdd cur_to_aux(const Bdd& f) { return mgr_.permute(f, perm_cur_aux_); }
+  Bdd cur_to_next(const Bdd& f) const { return mgr_.permute(f, perm_cur_next_); }
+  Bdd next_to_cur(const Bdd& f) const { return mgr_.permute(f, perm_cur_next_); }
+  Bdd next_to_aux(const Bdd& f) const { return mgr_.permute(f, perm_next_aux_); }
+  Bdd aux_to_next(const Bdd& f) const { return mgr_.permute(f, perm_next_aux_); }
+  Bdd cur_to_aux(const Bdd& f) const { return mgr_.permute(f, perm_cur_aux_); }
 
   /// Minterm of a complete state over the chosen group's variables.
-  Bdd state_minterm_cur(const std::vector<bool>& state);
-  Bdd state_minterm_next(const std::vector<bool>& state);
+  Bdd state_minterm_cur(const std::vector<bool>& state) const;
+  Bdd state_minterm_next(const std::vector<bool>& state) const;
 
   /// Pick one complete state from a non-empty set over cur variables
   /// (don't-cares resolved to 0 — still a member of the set).
-  std::vector<bool> pick_state_cur(const Bdd& set);
+  std::vector<bool> pick_state_cur(const Bdd& set) const;
 
   /// Enumerate all complete states in a set over cur (or next) variables.
-  std::vector<std::vector<bool>> all_states_cur(const Bdd& set,
-                                                std::size_t limit = 1u << 20);
-  std::vector<std::vector<bool>> all_states_next(const Bdd& set,
-                                                 std::size_t limit = 1u << 20);
+  std::vector<std::vector<bool>> all_states_cur(
+      const Bdd& set, std::size_t limit = 1u << 20) const;
+  std::vector<std::vector<bool>> all_states_next(
+      const Bdd& set, std::size_t limit = 1u << 20) const;
 
   /// Target (settled) value of gate s as a function of cur variables; for
   /// state-holding gates this includes the gate's own present value.
-  Bdd target(SignalId s);
+  Bdd target(SignalId s) const;
 
   /// Predicate over cur: every gate output equals its target (§3.1's
   /// "stable state").
-  Bdd stable();
+  Bdd stable() const;
 
   /// cur(s) XNOR next(s).
-  Bdd eq_cur_next(SignalId s);
+  Bdd eq_cur_next(SignalId s) const;
 
   /// Number of satisfying states of a cur-set (each state counted once).
-  double count_states_cur(const Bdd& set);
+  double count_states_cur(const Bdd& set) const;
 
  private:
   void build_layout(VarOrder order);
@@ -92,12 +100,12 @@ class SymbolicEncoding {
                                      const std::vector<bool>& by_signal) const;
 
   const Netlist* netlist_;
-  BddManager mgr_;
+  mutable BddManager mgr_;
   std::vector<std::uint32_t> cur_vars_, next_vars_, aux_vars_;
   std::vector<std::uint32_t> perm_cur_next_, perm_next_aux_, perm_cur_aux_;
-  std::vector<Bdd> target_cache_;
-  Bdd stable_cache_;
-  bool stable_built_ = false;
+  mutable std::vector<Bdd> target_cache_;
+  mutable Bdd stable_cache_;
+  mutable bool stable_built_ = false;
 };
 
 }  // namespace xatpg

@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool for the fault-parallel ATPG engine.
+//
+// Deliberately simple: tasks are opaque std::function<void()> jobs pushed
+// through one mutex-protected queue.  The pool is NOT the scalability
+// mechanism — workers pull coarse fault batches from a ChunkedWorkQueue
+// (util/work_queue.hpp) inside a single long-lived task each, so the pool's
+// queue sees O(threads) submissions per ATPG run, never O(faults).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xatpg {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task.  Tasks must not throw — wrap bodies that can fail and
+  /// stash the std::exception_ptr (see AtpgEngine::run).
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable idle_cv_;   // signals wait_idle: all drained
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xatpg

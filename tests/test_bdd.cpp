@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "fixtures.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
@@ -329,6 +331,175 @@ TEST(BddManagerTest, LargeRandomEquivalenceAgainstTruthTable) {
           << "trial " << trial << " assignment " << bits;
     }
   }
+}
+
+// --- handle-validity and cross-manager guards --------------------------------
+//
+// A default-constructed Bdd used to null-deref in the combinators, and the
+// apply_* entry points accepted operands from a foreign manager (whose node
+// indices are meaningless in this arena) and silently computed garbage.
+// Both must fail loudly now.
+
+TEST(BddGuards, InvalidHandleCombinatorsThrow) {
+  BddManager mgr(2);
+  const Bdd a = mgr.var(0);
+  const Bdd invalid;
+  EXPECT_THROW(invalid & a, CheckError);
+  EXPECT_THROW(a & invalid, CheckError);
+  EXPECT_THROW(invalid | a, CheckError);
+  EXPECT_THROW(a | invalid, CheckError);
+  EXPECT_THROW(invalid ^ a, CheckError);
+  EXPECT_THROW(a ^ invalid, CheckError);
+  EXPECT_THROW(!invalid, CheckError);
+  EXPECT_THROW(invalid.implies(a), CheckError);
+  EXPECT_THROW(a.implies(invalid), CheckError);
+  Bdd acc = invalid;
+  EXPECT_THROW(acc &= a, CheckError);
+}
+
+TEST(BddGuards, MixedManagerOperandsThrow) {
+  BddManager m1(4), m2(4);
+  const Bdd a = m1.var(0);
+  const Bdd b = m2.var(0);
+  const Bdd cube = m2.make_cube({0, 1});
+  EXPECT_THROW(a & b, CheckError);
+  EXPECT_THROW(a | b, CheckError);
+  EXPECT_THROW(a ^ b, CheckError);
+  EXPECT_THROW(m1.ite(a, b, a), CheckError);
+  EXPECT_THROW(m1.apply_not(b), CheckError);
+  EXPECT_THROW(m1.exists(a, cube), CheckError);
+  EXPECT_THROW(m1.forall(a, cube), CheckError);
+  EXPECT_THROW(m1.and_exists(a, b, cube), CheckError);
+  EXPECT_THROW(m1.compose(a, 0, b), CheckError);
+  EXPECT_THROW(m1.cofactor(b, 0, true), CheckError);
+  EXPECT_THROW(m1.permute(b, {0, 1, 2, 3}), CheckError);
+  EXPECT_THROW(m1.sat_count(b, 4), CheckError);
+  EXPECT_THROW(m1.eval(b, {false, false, false, false}), CheckError);
+  EXPECT_THROW(m1.pick_minterm(b, {0}), CheckError);
+  EXPECT_THROW(m1.all_minterms(b, {0, 1, 2, 3}), CheckError);
+  EXPECT_THROW(m1.support_vars(b), CheckError);
+  EXPECT_THROW(m1.support_cube(b), CheckError);
+}
+
+// Orphaned handles (manager destroyed first) count as invalid operands.
+TEST(BddGuards, OrphanedHandleThrowsInsteadOfCrashing) {
+  Bdd orphan;
+  {
+    BddManager mgr(2);
+    orphan = mgr.var(0);
+  }
+  EXPECT_FALSE(orphan.valid());
+  BddManager other(2);
+  EXPECT_THROW(orphan & other.var(0), CheckError);
+  EXPECT_THROW(!orphan, CheckError);
+}
+
+// --- sat_count wide-support regression ---------------------------------------
+//
+// The all-double implementation multiplied per-level weights of 2^gap and
+// overflowed to inf past ~1023 effective variables, silently poisoning every
+// downstream statistic.  The mantissa/exponent (ldexp) version is exact for
+// any representable count and throws instead of returning inf.
+
+TEST(BddSatCount, WideSupportExactCounts) {
+  const std::uint32_t nvars = 1100;
+  BddManager mgr(nvars);
+  // A cube of the first 100 variables: exactly 2^1000 satisfying
+  // assignments of the 1100-variable universe — representable, and the
+  // old implementation's overflow territory starts right above it.
+  std::vector<std::uint32_t> vars(100);
+  for (std::uint32_t i = 0; i < 100; ++i) vars[i] = i;
+  EXPECT_EQ(mgr.sat_count(mgr.make_cube(vars), nvars), std::ldexp(1.0, 1000));
+  // A cube of ALL 1100 variables: exactly one satisfying assignment.
+  std::vector<std::uint32_t> all(nvars);
+  for (std::uint32_t i = 0; i < nvars; ++i) all[i] = i;
+  EXPECT_EQ(mgr.sat_count(mgr.make_cube(all), nvars), 1.0);
+  EXPECT_EQ(mgr.sat_count(mgr.bdd_false(), nvars), 0.0);
+}
+
+TEST(BddSatCount, OverflowIsLoud) {
+  const std::uint32_t nvars = 1100;
+  BddManager mgr(nvars);
+  // x_0 leaves 1099 free variables: 2^1099 > double max — must throw, not
+  // return inf.
+  EXPECT_THROW(mgr.sat_count(mgr.var(0), nvars), CheckError);
+  EXPECT_THROW(mgr.sat_count(mgr.bdd_true(), nvars), CheckError);
+}
+
+TEST(BddSatCount, SmallCountsUnchanged) {
+  BddManager mgr(8);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  // 2^8 assignments; f true on (a&b)|c: 1*1*2*32 + ... brute force instead:
+  double expected = 0;
+  for (int bits = 0; bits < 256; ++bits) {
+    std::vector<bool> a(8);
+    for (int i = 0; i < 8; ++i) a[i] = (bits >> i) & 1;
+    if ((a[0] && a[1]) || a[2]) expected += 1;
+  }
+  EXPECT_EQ(mgr.sat_count(f, 8), expected);
+}
+
+// --- GC stress: "GC only at op entry" ----------------------------------------
+//
+// With the threshold forced to 0 a mark-and-sweep collection runs at every
+// public operation entry (and the threshold never doubles back up), so any
+// raw node index held across a collection point would be torn under the
+// recursion's feet.  Re-run the whole op battery under that regime against
+// an unstressed reference manager: results must be semantically identical.
+
+TEST(BddGcStress, OpBatterySurvivesCollectionAtEveryEntry) {
+  constexpr std::uint32_t kVars = 8;
+  BddManager stress(kVars), ref(kVars);
+  stress.set_gc_threshold(0);
+  ASSERT_EQ(stress.gc_threshold(), 0u);
+
+  const auto equivalent = [&](const Bdd& s, const Bdd& r) {
+    for (int bits = 0; bits < (1 << kVars); ++bits) {
+      std::vector<bool> a(kVars);
+      for (std::uint32_t i = 0; i < kVars; ++i) a[i] = (bits >> i) & 1;
+      if (stress.eval(s, a) != ref.eval(r, a)) return false;
+    }
+    return true;
+  };
+
+  Rng rng_s(2024), rng_r(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Bdd fs = fixtures::random_bdd(stress, rng_s, 4, kVars);
+    const Bdd gs = fixtures::random_bdd(stress, rng_s, 4, kVars);
+    const Bdd fr = fixtures::random_bdd(ref, rng_r, 4, kVars);
+    const Bdd gr = fixtures::random_bdd(ref, rng_r, 4, kVars);
+    ASSERT_TRUE(equivalent(fs, fr)) << "trial " << trial;
+
+    const Bdd cube_s = stress.make_cube({0, 3});
+    const Bdd cube_r = ref.make_cube({0, 3});
+    EXPECT_TRUE(equivalent(fs & gs, fr & gr));
+    EXPECT_TRUE(equivalent(fs | gs, fr | gr));
+    EXPECT_TRUE(equivalent(fs ^ gs, fr ^ gr));
+    EXPECT_TRUE(equivalent(!fs, !fr));
+    EXPECT_TRUE(equivalent(stress.ite(fs, gs, !gs), ref.ite(fr, gr, !gr)));
+    EXPECT_TRUE(equivalent(stress.exists(fs, cube_s), ref.exists(fr, cube_r)));
+    EXPECT_TRUE(equivalent(stress.forall(fs, cube_s), ref.forall(fr, cube_r)));
+    EXPECT_TRUE(equivalent(stress.and_exists(fs, gs, cube_s),
+                           ref.and_exists(fr, gr, cube_r)));
+    std::vector<std::uint32_t> swap_map{1, 0, 2, 3, 4, 5, 7, 6};
+    EXPECT_TRUE(equivalent(stress.permute(fs, swap_map),
+                           ref.permute(fr, swap_map)));
+    EXPECT_TRUE(equivalent(stress.compose(fs, 2, gs), ref.compose(fr, 2, gr)));
+    EXPECT_TRUE(equivalent(stress.cofactor(fs, 1, true),
+                           ref.cofactor(fr, 1, true)));
+    EXPECT_EQ(stress.sat_count(fs, kVars), ref.sat_count(fr, kVars));
+    if (!fs.is_false()) {
+      // The picked minterm must satisfy the stressed function.
+      const std::vector<std::uint32_t> vars{0, 1, 2, 3, 4, 5, 6, 7};
+      const auto tri = stress.pick_minterm(fs, vars);
+      std::vector<bool> a(kVars, false);
+      for (std::uint32_t i = 0; i < kVars; ++i) a[i] = tri[i] == Tri::One;
+      EXPECT_TRUE(stress.eval(fs, a));
+    }
+  }
+  // The regime really did collect constantly.
+  EXPECT_GT(stress.gc_count(), 100u);
+  EXPECT_EQ(ref.gc_count(), 0u);
 }
 
 }  // namespace

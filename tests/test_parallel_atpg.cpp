@@ -1,0 +1,173 @@
+// Determinism suite for the fault-parallel ATPG engine: the fan-out over
+// worker shards must be invisible in the results.  For every fixture
+// circuit, `AtpgEngine::run` with threads ∈ {1, 2, 4} must produce
+// byte-identical FaultOutcome tables, test sequences, and phase counters —
+// scheduling may only change wall-clock numbers.
+//
+// This suite is also the ThreadSanitizer workload in CI: the threads=2/4
+// runs exercise the thread pool, the chunked work queue, the per-worker
+// shard build, and every shared read-only path (netlist, explicit CSSG).
+#include "atpg/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/fault.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "fixtures.hpp"
+#include "util/thread_pool.hpp"
+#include "util/work_queue.hpp"
+
+namespace xatpg {
+namespace {
+
+AtpgOptions determinism_options(std::size_t threads) {
+  AtpgOptions options;
+  options.random_budget = 24;
+  options.random_walk_len = 6;
+  options.seed = 5;
+  options.threads = threads;
+  // The wall-clock cap is the one nondeterministic knob (see AtpgOptions);
+  // disarm it so the deterministic caps (diff_depth/diff_node_cap) bind and
+  // the byte-identity guarantee holds even under slow sanitizers.
+  options.per_fault_seconds = 1e9;
+  return options;
+}
+
+void expect_identical(const AtpgResult& base, const AtpgResult& other,
+                      std::size_t threads, const std::string& name) {
+  SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+  EXPECT_EQ(base.outcomes, other.outcomes);
+  EXPECT_EQ(base.sequences, other.sequences);
+  EXPECT_EQ(base.stats.by_random, other.stats.by_random);
+  EXPECT_EQ(base.stats.by_three_phase, other.stats.by_three_phase);
+  EXPECT_EQ(base.stats.by_fault_sim, other.stats.by_fault_sim);
+  EXPECT_EQ(base.stats.covered, other.stats.covered);
+  EXPECT_EQ(base.stats.undetected, other.stats.undetected);
+  EXPECT_EQ(base.stats.proven_redundant, other.stats.proven_redundant);
+}
+
+void check_determinism(const Netlist& netlist, const std::vector<bool>& reset,
+                       const std::string& name, bool classify = false) {
+  std::optional<AtpgResult> base_in, base_out;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    AtpgOptions options = determinism_options(threads);
+    options.classify_undetectable = classify;
+    AtpgEngine engine(netlist, reset, options);
+    const AtpgResult in = engine.run(input_stuck_faults(netlist));
+    const AtpgResult out = engine.run(output_stuck_faults(netlist));
+    if (!base_in) {
+      base_in = in;
+      base_out = out;
+      continue;
+    }
+    expect_identical(*base_in, in, threads, name + "/input");
+    expect_identical(*base_out, out, threads, name + "/output");
+  }
+}
+
+TEST(ParallelDeterminism, Fig1a) {
+  const fixtures::Circuit c = fixtures::fig1a();
+  check_determinism(c.netlist, c.reset, "fig1a");
+}
+
+TEST(ParallelDeterminism, Fig1b) {
+  const fixtures::Circuit c = fixtures::fig1b();
+  check_determinism(c.netlist, c.reset, "fig1b");
+}
+
+TEST(ParallelDeterminism, AsyncLatch) {
+  const fixtures::Circuit c = fixtures::async_latch();
+  check_determinism(c.netlist, c.reset, "latch");
+}
+
+TEST(ParallelDeterminism, Pipeline2) {
+  const fixtures::Circuit c = fixtures::pipeline2();
+  check_determinism(c.netlist, c.reset, "pipeline2");
+}
+
+TEST(ParallelDeterminism, RpdftWithClassifier) {
+  const auto synth = benchmark_circuit("rpdft", SynthStyle::SpeedIndependent);
+  check_determinism(synth.netlist, synth.reset_state, "rpdft",
+                    /*classify=*/true);
+}
+
+// Thread count 0 (= hardware concurrency) must also match threads=1.
+TEST(ParallelDeterminism, HardwareThreadsMatchSerial) {
+  const fixtures::Circuit c = fixtures::pipeline2();
+  AtpgOptions serial = determinism_options(1);
+  AtpgOptions hw = determinism_options(0);
+  AtpgEngine e1(c.netlist, c.reset, serial);
+  AtpgEngine e2(c.netlist, c.reset, hw);
+  const auto faults = input_stuck_faults(c.netlist);
+  expect_identical(e1.run(faults), e2.run(faults), 0, "pipeline2/hw");
+}
+
+// The parallel engine must keep the serial engine's quality guarantees:
+// every committed sequence still detects its fault under the exact
+// simulator, whichever phase got the credit.
+TEST(ParallelEngine, SequencesDetectTheirFaultsAtFourThreads) {
+  const auto synth = benchmark_circuit("rpdft", SynthStyle::SpeedIndependent);
+  AtpgOptions options = determinism_options(4);
+  AtpgEngine engine(synth.netlist, synth.reset_state, options);
+  const AtpgResult result = engine.run(input_stuck_faults(synth.netlist));
+  EXPECT_GE(result.stats.coverage(), 0.9);
+  for (const FaultOutcome& outcome : result.outcomes) {
+    if (outcome.covered_by == CoveredBy::None) continue;
+    ASSERT_GE(outcome.sequence_index, 0);
+    const TestSequence& seq = result.sequences[outcome.sequence_index];
+    const auto path = engine.follow(seq);
+    ASSERT_TRUE(path.has_value());
+    FaultSimulator sim(synth.netlist, outcome.fault, synth.reset_state);
+    DetectStatus status = sim.status();
+    for (std::size_t t = 0;
+         t < seq.vectors.size() && status == DetectStatus::Undetermined; ++t)
+      status = sim.step(seq.vectors[t],
+                        engine.graph().states[(*path)[t + 1]]);
+    EXPECT_EQ(status, DetectStatus::Detected)
+        << outcome.fault.describe(synth.netlist);
+  }
+}
+
+// --- the concurrency primitives themselves -----------------------------------
+
+TEST(ChunkedWorkQueue, DrainsEveryItemExactlyOnceAcrossThreads) {
+  std::vector<std::size_t> items(10000);
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  ChunkedWorkQueue<std::size_t> queue(std::move(items),
+                                      work_block_size(10000, 4));
+  std::vector<std::atomic<int>> claimed(10000);
+  {
+    ThreadPool pool(4);
+    for (int w = 0; w < 4; ++w)
+      pool.submit([&] {
+        while (const auto block = queue.pop_block())
+          for (const std::size_t i : *block) claimed[i].fetch_add(1);
+      });
+    pool.wait_idle();
+  }
+  for (std::size_t i = 0; i < claimed.size(); ++i)
+    ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
+}
+
+TEST(ChunkedWorkQueue, BlockSizeHeuristic) {
+  EXPECT_EQ(work_block_size(0, 1), 1u);
+  EXPECT_EQ(work_block_size(100, 1), 100u);   // serial: one block
+  EXPECT_EQ(work_block_size(100, 4), 6u);     // ~4 blocks per worker
+  EXPECT_EQ(work_block_size(3, 8), 1u);       // never zero
+}
+
+TEST(ThreadPool, WaitIdleSeesAllSubmittedWork) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+  // The pool stays usable after an idle barrier.
+  for (int i = 0; i < 10; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 110);
+}
+
+}  // namespace
+}  // namespace xatpg
