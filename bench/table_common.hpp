@@ -18,6 +18,11 @@ namespace xatpg::benchtab {
 
 /// Apply the shared command-line flags to `options`:
 ///   --threads N   fault-parallel 3-phase workers (0 = hardware threads)
+///   --reorder     enable dynamic BDD variable reordering (sifting) on the
+///                 engine context and every worker shard.  Coverage and
+///                 sequences are guaranteed identical to the default run
+///                 (the determinism/differential suites lock this); only
+///                 node counts and timing may change.
 /// Unknown arguments abort with a usage message.
 inline void parse_flags(int argc, char** argv, AtpgOptions& options) {
   for (int i = 1; i < argc; ++i) {
@@ -34,8 +39,10 @@ inline void parse_flags(int argc, char** argv, AtpgOptions& options) {
         std::exit(2);
       }
       options.threads = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--reorder") == 0) {
+      options.reorder.enabled = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads N] [--reorder]\n", argv[0]);
       std::exit(2);
     }
   }
@@ -47,6 +54,9 @@ struct Row {
   std::size_t in_tot = 0, in_cov = 0;
   std::size_t rnd = 0, three_ph = 0, sim = 0;
   double cpu_ms = 0;
+  /// BDD accounting on the engine's own symbolic context: allocated-node
+  /// watermark across the whole run, live nodes at the end, sift passes.
+  std::size_t peak_nodes = 0, live_nodes = 0, reorders = 0;
 };
 
 inline Row run_circuit(const std::string& name, SynthStyle style,
@@ -68,6 +78,12 @@ inline Row run_circuit(const std::string& name, SynthStyle style,
   row.three_ph = in_result.stats.by_three_phase;
   row.sim = in_result.stats.by_fault_sim;
   row.cpu_ms = timer.millis();
+
+  BddManager& mgr = engine.cssg().encoding().mgr();
+  row.peak_nodes = mgr.peak_nodes();
+  mgr.collect_garbage();
+  row.live_nodes = mgr.allocated_nodes();
+  row.reorders = mgr.reorder_count();
   return row;
 }
 
@@ -75,34 +91,44 @@ inline void print_table(const char* title,
                         const std::vector<Row>& rows) {
   std::printf("%s\n", title);
   std::printf(
-      "%-16s | %-13s | %-13s | %-17s | %s\n", "", "output-s", "input-s",
-      "input-s by phase", "");
-  std::printf("%-16s | %5s %7s | %5s %7s | %5s %5s %5s | %9s\n", "example",
-              "tot", "cov", "tot", "cov", "rnd", "3-ph", "sim", "CPU(ms)");
+      "%-16s | %-13s | %-13s | %-17s | %-22s | %s\n", "", "output-s",
+      "input-s", "input-s by phase", "BDD nodes", "");
+  std::printf("%-16s | %5s %7s | %5s %7s | %5s %5s %5s | %8s %8s %4s | %9s\n",
+              "example", "tot", "cov", "tot", "cov", "rnd", "3-ph", "sim",
+              "peak", "live", "sift", "CPU(ms)");
   std::printf(
       "-----------------+---------------+---------------+-------------------+-"
-      "---------\n");
+      "-----------------------+----------\n");
   std::size_t out_tot = 0, out_cov = 0, in_tot = 0, in_cov = 0;
+  std::size_t peak = 0, live = 0;
   double cpu = 0;
   for (const Row& row : rows) {
-    std::printf("%-16s | %5zu %7zu | %5zu %7zu | %5zu %5zu %5zu | %9.1f\n",
-                row.name.c_str(), row.out_tot, row.out_cov, row.in_tot,
-                row.in_cov, row.rnd, row.three_ph, row.sim, row.cpu_ms);
+    std::printf(
+        "%-16s | %5zu %7zu | %5zu %7zu | %5zu %5zu %5zu | %8zu %8zu %4zu | "
+        "%9.1f\n",
+        row.name.c_str(), row.out_tot, row.out_cov, row.in_tot, row.in_cov,
+        row.rnd, row.three_ph, row.sim, row.peak_nodes, row.live_nodes,
+        row.reorders, row.cpu_ms);
     out_tot += row.out_tot;
     out_cov += row.out_cov;
     in_tot += row.in_tot;
     in_cov += row.in_cov;
+    peak += row.peak_nodes;
+    live += row.live_nodes;
     cpu += row.cpu_ms;
   }
   std::printf(
       "-----------------+---------------+---------------+-------------------+-"
-      "---------\n");
-  std::printf("%-16s | %5s %6.2f%% | %5s %6.2f%% | %17s | %9.1f\n", "Total FC",
-              "", 100.0 * static_cast<double>(out_cov) /
-                      static_cast<double>(out_tot),
-              "", 100.0 * static_cast<double>(in_cov) /
-                      static_cast<double>(in_tot),
-              "", cpu);
+      "-----------------------+----------\n");
+  std::printf("%-16s | %5s %6.2f%% | %5s %6.2f%% | %17s | %8zu %8zu %4s | "
+              "%9.1f\n",
+              "Total FC", "",
+              100.0 * static_cast<double>(out_cov) /
+                  static_cast<double>(out_tot),
+              "",
+              100.0 * static_cast<double>(in_cov) /
+                  static_cast<double>(in_tot),
+              "", peak, live, "", cpu);
   std::printf("\n");
 }
 

@@ -33,6 +33,10 @@ int main() {
   options.random_budget = 32;
   options.threads = 2;       // fault-parallel 3-phase search (0 = all cores);
                              // outcomes are identical for any thread count
+  options.reorder.enabled = true;  // dynamic BDD reordering (Rudell sifting)
+                                   // on every symbolic shard; like threads,
+                                   // it never changes outcomes — only node
+                                   // counts and timing
   AtpgEngine engine(circuit, synth.reset_state, options);
 
   const CssgStats& cssg = engine.cssg().stats();

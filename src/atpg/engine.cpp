@@ -40,6 +40,7 @@ std::unique_ptr<Cssg> AtpgEngine::build_shard() const {
   CssgOptions cssg_options;
   cssg_options.k = options_.k;
   cssg_options.order = options_.order;
+  cssg_options.reorder = options_.reorder;
   return std::make_unique<Cssg>(
       *netlist_, std::vector<std::vector<bool>>{reset_state_}, cssg_options);
 }

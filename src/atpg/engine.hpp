@@ -40,6 +40,12 @@ namespace xatpg {
 struct AtpgOptions {
   std::size_t k = 24;                    ///< settle bound (TCR_k)
   VarOrder order = VarOrder::Interleaved;
+  /// Dynamic BDD reordering for the symbolic shards.  Every worker shard
+  /// (and the engine's own context) gets the same policy and reorders
+  /// independently whenever its own tables cross the trigger; results stay
+  /// byte-identical across thread counts and orders because every symbolic
+  /// query the engine consumes is canonicalized to be order-independent.
+  ReorderPolicy reorder{};
   std::size_t random_budget = 512;       ///< vectors spent in random TPG
   std::size_t random_walk_len = 48;      ///< restart interval (reset pulses)
   std::uint64_t seed = 1;

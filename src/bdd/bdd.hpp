@@ -10,9 +10,22 @@
 //  * The computed cache is a direct-mapped hash cache keyed by
 //    (operation, operands); permutations get a per-permutation id so
 //    distinct variable maps never alias cache entries.
-//  * Variable order is the creation order (var == level).  The symbolic
-//    encoding layer (src/sgraph) chooses the interleaving; the ordering
-//    ablation bench exercises different static assignments.
+//  * Variable order is DYNAMIC: a level<->variable indirection separates a
+//    variable's identity (the `var` stored in nodes, stable for the life of
+//    the manager) from its position in the order (its level).  A fresh
+//    manager assigns level == creation order; `sift()` and `reorder_to()`
+//    permute levels afterwards via in-place adjacent-level swaps that
+//    preserve every node index's function — external handles, cached
+//    literal nodes and registered permutations all survive a reorder
+//    untouched.  The unique table is split into per-variable subtables
+//    (equivalently per-level, through the indirection), so an adjacent-level
+//    swap only touches the two affected subtables.  Auto-reordering is
+//    governed by a ReorderPolicy (node-count trigger, growth bound) and runs
+//    only at public operation entry — the same invariant GC relies on.
+//    The symbolic encoding layer (src/sgraph) chooses the initial
+//    interleaving and declares per-signal variable groups that sifting
+//    moves as blocks; the ordering ablation bench measures both the static
+//    assignments and dynamic sifting.
 //
 // Thread-safety contract:
 //  * A BddManager and every Bdd handle attached to it are confined to ONE
@@ -20,12 +33,15 @@
 //    operation — including logically read-only queries like sat_count or
 //    eval — mutates shared manager state (the handle registry, the unique
 //    table, the computed cache, and GC bookkeeping).  Copying a Bdd handle
-//    alone writes the manager's registry list.
+//    alone writes the manager's registry list.  Dynamic reordering mutates
+//    node labels in place and is likewise confined to the owning thread.
 //  * Concurrent use of DIFFERENT managers from different threads is safe;
 //    managers share no global state.  This is the sharding model the
 //    fault-parallel ATPG engine uses: one BddManager (inside one
 //    SymbolicEncoding + Cssg) per worker thread, built from the shared
-//    read-only netlist (see src/atpg/engine.cpp).
+//    read-only netlist (see src/atpg/engine.cpp).  Each shard reorders
+//    independently; engine results stay deterministic because every query
+//    the engine consumes is canonicalized to be order-independent.
 //  * Handles must never outlive their manager on another thread, and a Bdd
 //    from one manager must never be passed to another manager's operations
 //    (enforced by XATPG_CHECK at every public entry point).
@@ -59,7 +75,9 @@ class Bdd {
   bool is_true() const;
   bool is_const() const { return is_false() || is_true(); }
 
-  /// Top variable; precondition: !is_const().
+  /// Top variable; precondition: !is_const().  NOTE: under dynamic
+  /// reordering "top" means highest level (closest to the root), which is
+  /// not necessarily the smallest variable index.
   std::uint32_t top_var() const;
   /// Low (var=0) cofactor child; precondition: !is_const().
   Bdd low() const;
@@ -103,7 +121,32 @@ class Bdd {
 /// Assignment value used by minterm extraction: 0, 1, or DontCare.
 enum class Tri : signed char { Zero = 0, One = 1, DontCare = -1 };
 
-/// Owner of the node arena, unique table, and computed cache.
+/// Knobs for dynamic (Rudell-style sifting) variable reordering.
+struct ReorderPolicy {
+  /// Auto-reorder at public operation entry once the live-node count
+  /// crosses the trigger.  Explicit sift() calls work regardless.
+  bool enabled = false;
+  /// First auto-sift watermark (live nodes after GC).
+  std::size_t trigger_nodes = 1024;
+  /// A sifted block's walk aborts in a direction once the table grows past
+  /// max_growth x the best size seen for that block (transient bound; the
+  /// accepted position is never worse than the starting one).
+  double max_growth = 1.2;
+  /// After an auto-sift the next trigger is
+  /// max(trigger_nodes, size_after * trigger_growth).
+  double trigger_growth = 2.0;
+};
+
+/// Outcome of one sifting pass (also accumulated into manager statistics).
+struct ReorderStats {
+  std::size_t size_before = 0;  ///< live nodes entering the pass (post-GC)
+  std::size_t size_after = 0;   ///< live nodes after the pass (<= size_before)
+  std::size_t swaps = 0;        ///< adjacent-level swaps performed
+  std::size_t blocks_sifted = 0;
+};
+
+/// Owner of the node arena, per-variable unique subtables, computed cache,
+/// and the dynamic variable order.
 class BddManager {
  public:
   /// Create a manager with `num_vars` pre-allocated variables.
@@ -123,6 +166,47 @@ class BddManager {
   Bdd var(std::uint32_t v);
   /// Literal !x_v (negative).
   Bdd nvar(std::uint32_t v);
+
+  // --- dynamic variable order ----------------------------------------------
+  /// Position of variable v in the order (0 = root-most).
+  std::uint32_t level_of(std::uint32_t v) const { return var_to_level_[v]; }
+  /// Variable occupying position `level`.
+  std::uint32_t var_at_level(std::uint32_t level) const {
+    return level_to_var_[level];
+  }
+  /// Variables in level order (a permutation of 0..num_vars-1).
+  const std::vector<std::uint32_t>& current_order() const {
+    return level_to_var_;
+  }
+
+  /// Declare variable groups that sifting moves as indivisible blocks (and
+  /// never reorders internally).  Each group must occupy adjacent levels at
+  /// declaration time; sifting preserves the adjacency.  Replaces any
+  /// previous grouping; ungrouped variables sift as singletons.
+  void set_var_groups(const std::vector<std::vector<std::uint32_t>>& groups);
+  void clear_var_groups();
+
+  /// One Rudell sifting pass: every block (group or singleton), in
+  /// decreasing-size order, is walked to every position in the order and
+  /// parked at its minimum-size position.  The final table is never larger
+  /// than the starting one; transient growth during a walk is bounded by
+  /// reorder_policy().max_growth.  Runs a garbage collection first and
+  /// invalidates the computed cache.  Must only be called between
+  /// operations (like GC, never from inside a recursion).
+  ReorderStats sift();
+
+  /// Rearrange to an explicit order: `order[l]` is the variable for level l
+  /// (a permutation of 0..num_vars-1).  Implemented with the same in-place
+  /// adjacent swaps as sifting, so handles survive.  Intended for tests and
+  /// experiments.
+  ReorderStats reorder_to(const std::vector<std::uint32_t>& order);
+
+  void set_reorder_policy(const ReorderPolicy& policy);
+  const ReorderPolicy& reorder_policy() const { return reorder_policy_; }
+  /// Sifting passes performed (explicit + auto-triggered).
+  std::size_t reorder_count() const { return reorder_count_; }
+  /// Adjacent-level swaps performed over the manager's lifetime.
+  std::size_t swap_count() const { return swap_count_; }
 
   /// if-then-else: f ? g : h.  The workhorse all binary ops reduce to.
   Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
@@ -153,19 +237,23 @@ class BddManager {
 
   /// Positive cube of all variables occurring in f.
   Bdd support_cube(const Bdd& f);
-  /// Sorted list of variables occurring in f.
+  /// Sorted list of variables occurring in f (sorted by variable index,
+  /// independent of the current order).
   std::vector<std::uint32_t> support_vars(const Bdd& f);
 
   /// Number of satisfying assignments of f over `nvars` variables, divided
   /// by 2^divide_exp.  The division happens on the internal
   /// mantissa/exponent representation, so ratios like "states over a
   /// sub-universe" stay representable even when the raw count would
-  /// overflow double (which throws CheckError).
+  /// overflow double (which throws CheckError).  The result depends only on
+  /// the function, never on the current variable order.
   double sat_count(const Bdd& f, std::uint32_t nvars,
                    std::int64_t divide_exp = 0);
 
   /// Extract one satisfying assignment over the given variables; entries for
   /// variables f does not constrain are DontCare.  Precondition: !f.is_false().
+  /// NOTE: which minterm is picked depends on the current variable order;
+  /// order-independent callers (src/sgraph) canonicalize on top of cofactor.
   std::vector<Tri> pick_minterm(const Bdd& f,
                                 const std::vector<std::uint32_t>& vars);
 
@@ -173,7 +261,8 @@ class BddManager {
   bool eval(const Bdd& f, const std::vector<bool>& assignment);
 
   /// Enumerate every complete assignment over `vars` (which must be sorted
-  /// ascending and cover f's support) that satisfies f, expanding
+  /// by strictly ascending LEVEL — for a never-reordered manager that is
+  /// ascending variable index — and cover f's support), expanding
   /// don't-cares.  Throws CheckError if more than `limit` assignments exist.
   std::vector<std::vector<bool>> all_minterms(
       const Bdd& f, const std::vector<std::uint32_t>& vars,
@@ -190,7 +279,8 @@ class BddManager {
   std::size_t allocated_nodes() const { return nodes_.size() - free_count_; }
   /// Force a mark-and-sweep collection now; returns nodes freed.
   std::size_t collect_garbage();
-  /// Collections performed so far (statistic for the ordering ablation).
+  /// Collections performed so far (statistic for the ordering ablation;
+  /// sifting-internal sweeps are not counted).
   std::size_t gc_count() const { return gc_count_; }
 
   /// Allocated-node watermark that triggers a collection at the next public
@@ -210,19 +300,39 @@ class BddManager {
     std::uint32_t var;   // variable index; kVarTerminal for constants
     std::uint32_t lo;    // low child
     std::uint32_t hi;    // high child
-    std::uint32_t next;  // unique-table chain
+    std::uint32_t next;  // unique-subtable chain / free-list link
+  };
+  /// Per-variable unique subtable.  Through the level<->var indirection this
+  /// doubles as the per-LEVEL subtable, which is what makes an
+  /// adjacent-level swap local: all nodes of the upper level live in
+  /// exactly one subtable.
+  struct SubTable {
+    std::vector<std::uint32_t> buckets;
+    std::size_t count = 0;  ///< chained nodes (live + not-yet-swept garbage)
   };
   static constexpr std::uint32_t kVarTerminal = 0xffffffffu;
   static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kNoGroup = 0xffffffffu;
+  static constexpr std::uint32_t kLevelTerminal = 0xffffffffu;
+
+  /// Level of the node's top variable; terminals sort below everything.
+  std::uint32_t level_of_node(std::uint32_t n) const {
+    return nodes_[n].var == kVarTerminal ? kLevelTerminal
+                                         : var_to_level_[nodes_[n].var];
+  }
 
   std::uint32_t make_node(std::uint32_t var, std::uint32_t lo,
                           std::uint32_t hi);
   std::uint32_t unique_lookup(std::uint32_t var, std::uint32_t lo,
                               std::uint32_t hi);
-  void grow_table();
+  void subtable_insert(std::uint32_t var, std::uint32_t n);
+  void subtable_remove(std::uint32_t var, std::uint32_t n);
+  void grow_subtable(std::uint32_t var);
   void maybe_gc();
+  void maybe_reorder();
 
-  // Recursive cores (raw indices; safe because GC only runs at op entry).
+  // Recursive cores (raw indices; safe because GC/reordering only run at op
+  // entry).
   std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
   std::uint32_t not_rec(std::uint32_t f);
   std::uint32_t quant_rec(std::uint32_t f, std::uint32_t cube, bool universal);
@@ -234,6 +344,28 @@ class BddManager {
   std::uint32_t cofactor_rec(std::uint32_t f, std::uint32_t v, bool phase);
 
   void mark(std::uint32_t idx, std::vector<bool>& marked) const;
+  /// Mark-and-sweep without touching gc_count_ (shared by collect_garbage
+  /// and the sifting size measurements).
+  std::size_t sweep_dead();
+
+  // --- dynamic reordering ---------------------------------------------------
+  /// Swap the variables at `level` and `level + 1`.  In place: every node
+  /// index keeps its function; only nodes of the upper level that actually
+  /// depend on the lower variable are restructured.  Never collects, never
+  /// touches other levels' subtables (beyond child lookups).
+  void swap_adjacent_levels(std::uint32_t level);
+  /// Exchange the adjacent blocks [first, first+a) and [first+a, first+a+b)
+  /// (level ranges), preserving the internal order of each.
+  void swap_adjacent_blocks(std::uint32_t first, std::uint32_t a,
+                            std::uint32_t b);
+  /// Block containing `level`: [first, first + size).
+  void block_at(std::uint32_t level, std::uint32_t* first,
+                std::uint32_t* size) const;
+  /// Sift the block whose top is at `first` to its best position.
+  void sift_block(std::uint32_t first, std::uint32_t size,
+                  std::size_t* best_size, std::size_t* swaps);
+  /// Current live size: sweeps garbage, returns allocated_nodes().
+  std::size_t live_size();
 
   // --- computed cache -----------------------------------------------------
   enum class Op : std::uint64_t {
@@ -253,11 +385,15 @@ class BddManager {
 
   // --- data ----------------------------------------------------------------
   std::vector<Node> nodes_;
-  std::vector<std::uint32_t> buckets_;  // unique-table heads
+  std::vector<SubTable> subtables_;     // one unique subtable per variable
   std::uint32_t free_head_ = kNil;      // free list through Node::next
   std::size_t free_count_ = 0;
   std::uint32_t num_vars_ = 0;
   std::vector<std::uint32_t> var_nodes_;  // cached single-literal nodes
+
+  std::vector<std::uint32_t> var_to_level_;
+  std::vector<std::uint32_t> level_to_var_;
+  std::vector<std::uint32_t> group_of_var_;
 
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_ = 0;
@@ -269,6 +405,12 @@ class BddManager {
   std::uint32_t next_perm_id_ = 0;
   std::vector<std::vector<std::uint32_t>> registered_perms_;
   std::uint32_t register_perm(const std::vector<std::uint32_t>& var_map);
+
+  ReorderPolicy reorder_policy_;
+  std::size_t next_reorder_at_ = 0;
+  std::size_t reorder_count_ = 0;
+  std::size_t swap_count_ = 0;
+  bool reordering_ = false;  // re-entrancy guard for auto-triggering
 };
 
 }  // namespace xatpg

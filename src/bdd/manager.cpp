@@ -1,6 +1,7 @@
-// BddManager core: node arena, unique table, handle registry, garbage
-// collection, and the computed cache.  The recursive operation cores live in
-// ops.cpp.
+// BddManager core: node arena, per-variable unique subtables, handle
+// registry, garbage collection, the computed cache, and the level<->variable
+// indirection the dynamic-reordering machinery (reorder.cpp) permutes.  The
+// recursive operation cores live in ops.cpp.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -22,6 +23,10 @@ inline std::uint64_t mix(std::uint64_t x) {
 inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   return mix(a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
              c * 0x94d049bb133111ebULL);
+}
+
+inline std::uint64_t hash_children(std::uint32_t lo, std::uint32_t hi) {
+  return mix(lo * 0x9e3779b97f4a7c15ULL + hi * 0xbf58476d1ce4e5b9ULL);
 }
 }  // namespace
 
@@ -161,7 +166,6 @@ BddManager::BddManager(std::uint32_t num_vars) {
   // Terminal nodes: index 0 = false, index 1 = true.
   nodes_.push_back({kVarTerminal, 0, 0, kNil});
   nodes_.push_back({kVarTerminal, 1, 1, kNil});
-  buckets_.assign(1u << 10, kNil);
   cache_.assign(1u << 16, CacheEntry{});
   cache_mask_ = cache_.size() - 1;
   for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
@@ -181,6 +185,11 @@ BddManager::~BddManager() {
 std::uint32_t BddManager::new_var() {
   const std::uint32_t v = num_vars_++;
   var_nodes_.push_back(kNil);  // created lazily in var()
+  var_to_level_.push_back(v);  // fresh variables join at the bottom
+  level_to_var_.push_back(v);
+  group_of_var_.push_back(kNoGroup);
+  subtables_.emplace_back();
+  subtables_.back().buckets.assign(4, kNil);
   return v;
 }
 
@@ -203,11 +212,12 @@ std::uint32_t BddManager::make_node(std::uint32_t var, std::uint32_t lo,
 
 std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
                                         std::uint32_t hi) {
-  const std::uint64_t h = hash3(var, lo, hi);
-  std::uint32_t bucket = static_cast<std::uint32_t>(h & (buckets_.size() - 1));
-  for (std::uint32_t n = buckets_[bucket]; n != kNil; n = nodes_[n].next) {
+  SubTable& table = subtables_[var];
+  const std::uint64_t h = hash_children(lo, hi);
+  std::uint32_t bucket = static_cast<std::uint32_t>(h & (table.buckets.size() - 1));
+  for (std::uint32_t n = table.buckets[bucket]; n != kNil; n = nodes_[n].next) {
     const Node& node = nodes_[n];
-    if (node.var == var && node.lo == lo && node.hi == hi) return n;
+    if (node.lo == lo && node.hi == hi) return n;
   }
   std::uint32_t idx;
   if (free_head_ != kNil) {
@@ -223,33 +233,82 @@ std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
     idx = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back({});
   }
-  nodes_[idx] = {var, lo, hi, buckets_[bucket]};
-  buckets_[bucket] = idx;
+  nodes_[idx] = {var, lo, hi, table.buckets[bucket]};
+  table.buckets[bucket] = idx;
+  ++table.count;
   peak_nodes_ = std::max(peak_nodes_, allocated_nodes());
-  if (allocated_nodes() > 2 * buckets_.size()) grow_table();
+  if (table.count > 2 * table.buckets.size()) grow_subtable(var);
   return idx;
 }
 
-void BddManager::grow_table() {
-  buckets_.assign(buckets_.size() * 2, kNil);
-  // Re-chain every live node.  Free-list nodes have var == kVarTerminal and
-  // are identified by walking the free list first.
-  std::vector<bool> is_free(nodes_.size(), false);
-  for (std::uint32_t n = free_head_; n != kNil; n = nodes_[n].next)
-    is_free[n] = true;
-  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
-    if (is_free[n]) continue;
-    const std::uint64_t h = hash3(nodes_[n].var, nodes_[n].lo, nodes_[n].hi);
-    const auto bucket = static_cast<std::uint32_t>(h & (buckets_.size() - 1));
-    nodes_[n].next = buckets_[bucket];
-    buckets_[bucket] = n;
+void BddManager::subtable_insert(std::uint32_t var, std::uint32_t n) {
+  SubTable& table = subtables_[var];
+  const std::uint64_t h = hash_children(nodes_[n].lo, nodes_[n].hi);
+  const auto bucket =
+      static_cast<std::uint32_t>(h & (table.buckets.size() - 1));
+  nodes_[n].next = table.buckets[bucket];
+  table.buckets[bucket] = n;
+  ++table.count;
+  if (table.count > 2 * table.buckets.size()) grow_subtable(var);
+}
+
+void BddManager::subtable_remove(std::uint32_t var, std::uint32_t n) {
+  SubTable& table = subtables_[var];
+  const std::uint64_t h = hash_children(nodes_[n].lo, nodes_[n].hi);
+  const auto bucket =
+      static_cast<std::uint32_t>(h & (table.buckets.size() - 1));
+  std::uint32_t cur = table.buckets[bucket];
+  if (cur == n) {
+    table.buckets[bucket] = nodes_[n].next;
+  } else {
+    while (cur != kNil && nodes_[cur].next != n) cur = nodes_[cur].next;
+    XATPG_CHECK_MSG(cur != kNil, "node missing from its unique subtable");
+    nodes_[cur].next = nodes_[n].next;
+  }
+  nodes_[n].next = kNil;
+  --table.count;
+}
+
+void BddManager::grow_subtable(std::uint32_t var) {
+  SubTable& table = subtables_[var];
+  // Collect the chained nodes, then re-chain into the doubled bucket array.
+  std::vector<std::uint32_t> chained;
+  chained.reserve(table.count);
+  for (const std::uint32_t head : table.buckets)
+    for (std::uint32_t n = head; n != kNil; n = nodes_[n].next)
+      chained.push_back(n);
+  table.buckets.assign(table.buckets.size() * 2, kNil);
+  for (const std::uint32_t n : chained) {
+    const std::uint64_t h = hash_children(nodes_[n].lo, nodes_[n].hi);
+    const auto bucket =
+        static_cast<std::uint32_t>(h & (table.buckets.size() - 1));
+    nodes_[n].next = table.buckets[bucket];
+    table.buckets[bucket] = n;
   }
 }
 
 void BddManager::maybe_gc() {
-  if (allocated_nodes() <= gc_threshold_) return;
-  collect_garbage();
-  if (allocated_nodes() > gc_threshold_ / 2) gc_threshold_ *= 2;
+  if (allocated_nodes() > gc_threshold_) {
+    collect_garbage();
+    if (allocated_nodes() > gc_threshold_ / 2) gc_threshold_ *= 2;
+  }
+  maybe_reorder();
+}
+
+void BddManager::maybe_reorder() {
+  // next_reorder_at_ is primed by set_reorder_policy (the only way to set
+  // enabled) and re-armed after every auto-sift below.
+  if (!reorder_policy_.enabled || reordering_) return;
+  if (allocated_nodes() <= next_reorder_at_) return;
+  // The trigger fires on allocated (live + garbage) nodes; sweep first and
+  // skip the sift when the growth was mostly garbage — sifting cost scales
+  // with blocks x positions and is only worth paying for live growth.
+  sweep_dead();
+  if (allocated_nodes() <= next_reorder_at_) return;
+  const ReorderStats stats = sift();
+  const auto scaled = static_cast<std::size_t>(
+      static_cast<double>(stats.size_after) * reorder_policy_.trigger_growth);
+  next_reorder_at_ = std::max(reorder_policy_.trigger_nodes, scaled);
 }
 
 void BddManager::mark(std::uint32_t idx, std::vector<bool>& marked) const {
@@ -266,7 +325,7 @@ void BddManager::mark(std::uint32_t idx, std::vector<bool>& marked) const {
   }
 }
 
-std::size_t BddManager::collect_garbage() {
+std::size_t BddManager::sweep_dead() {
   std::vector<bool> marked(nodes_.size(), false);
   marked[0] = marked[1] = true;
   for (const Bdd* h = registry_head_; h != nullptr; h = h->reg_next_)
@@ -274,8 +333,11 @@ std::size_t BddManager::collect_garbage() {
   for (const std::uint32_t vn : var_nodes_)
     if (vn != kNil) mark(vn, marked);
 
-  // Sweep: rebuild the free list and the unique table from scratch.
-  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  // Sweep: rebuild the free list and every unique subtable from scratch.
+  for (SubTable& table : subtables_) {
+    std::fill(table.buckets.begin(), table.buckets.end(), kNil);
+    table.count = 0;
+  }
   free_head_ = kNil;
   free_count_ = 0;
   std::size_t freed = 0;
@@ -287,13 +349,21 @@ std::size_t BddManager::collect_garbage() {
       ++free_count_;
       ++freed;
     } else {
-      const std::uint64_t h = hash3(nodes_[n].var, nodes_[n].lo, nodes_[n].hi);
-      const auto bucket = static_cast<std::uint32_t>(h & (buckets_.size() - 1));
-      nodes_[n].next = buckets_[bucket];
-      buckets_[bucket] = n;
+      SubTable& table = subtables_[nodes_[n].var];
+      const std::uint64_t h = hash_children(nodes_[n].lo, nodes_[n].hi);
+      const auto bucket =
+          static_cast<std::uint32_t>(h & (table.buckets.size() - 1));
+      nodes_[n].next = table.buckets[bucket];
+      table.buckets[bucket] = n;
+      ++table.count;
     }
   }
   cache_clear();
+  return freed;
+}
+
+std::size_t BddManager::collect_garbage() {
+  const std::size_t freed = sweep_dead();
   ++gc_count_;
   return freed;
 }

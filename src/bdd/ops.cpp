@@ -1,6 +1,13 @@
 // Recursive BDD operation cores.  All *_rec functions operate on raw node
-// indices; garbage collection is only ever triggered at the public entry
-// points (maybe_gc), so indices remain stable throughout a recursion.
+// indices; garbage collection and dynamic reordering are only ever triggered
+// at the public entry points (maybe_gc), so indices remain stable throughout
+// a recursion.
+//
+// Ordering discipline: nodes store the VARIABLE index, but the order is the
+// level permutation (BddManager::level_of).  Every "which operand is on
+// top?" decision therefore compares LEVELS, never variable indices —
+// variable indices only decide identity ("is this the quantified/composed
+// variable?").  Terminals sort below every level (kLevelTerminal).
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
@@ -9,10 +16,6 @@
 #include "util/check.hpp"
 
 namespace xatpg {
-
-namespace {
-constexpr std::uint32_t kVarTerminalLocal = 0xffffffffu;
-}
 
 // Every public operation entry must reject operands from a different
 // manager (node indices are meaningless across arenas — mixing silently
@@ -51,20 +54,18 @@ std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
   const std::uint32_t hit = cache_lookup(Op::Ite, f, g, h);
   if (hit != kNil) return hit;
 
-  const auto var_of = [&](std::uint32_t n) {
-    return nodes_[n].var == kVarTerminal ? kVarTerminalLocal : nodes_[n].var;
-  };
-  const std::uint32_t top =
-      std::min(var_of(f), std::min(var_of(g), var_of(h)));
+  const std::uint32_t top_level = std::min(
+      level_of_node(f), std::min(level_of_node(g), level_of_node(h)));
+  const std::uint32_t top_var = level_to_var_[top_level];
 
   const auto cof = [&](std::uint32_t n, bool hi) {
-    if (nodes_[n].var != top) return n;
+    if (nodes_[n].var != top_var) return n;
     return hi ? nodes_[n].hi : nodes_[n].lo;
   };
 
   const std::uint32_t r0 = ite_rec(cof(f, false), cof(g, false), cof(h, false));
   const std::uint32_t r1 = ite_rec(cof(f, true), cof(g, true), cof(h, true));
-  const std::uint32_t result = make_node(top, r0, r1);
+  const std::uint32_t result = make_node(top_var, r0, r1);
   cache_insert(Op::Ite, f, g, h, result);
   return result;
 }
@@ -126,8 +127,8 @@ Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
 std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
                                     bool universal) {
   if (f == 0 || f == 1) return f;
-  // Skip quantified variables above f's top variable (they do not occur).
-  while (cube != 1 && nodes_[cube].var < nodes_[f].var)
+  // Skip quantified variables above f's top level (they do not occur in f).
+  while (cube != 1 && level_of_node(cube) < level_of_node(f))
     cube = nodes_[cube].hi;
   if (cube == 1) return f;
 
@@ -142,7 +143,7 @@ std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
     const std::uint32_t l = quant_rec(nf.lo, nc.hi, universal);
     const std::uint32_t r = quant_rec(nf.hi, nc.hi, universal);
     result = universal ? ite_rec(l, r, 0) : ite_rec(l, 1, r);
-  } else {  // nf.var < nc.var
+  } else {  // f's top level is above the cube's next variable
     const std::uint32_t l = quant_rec(nf.lo, cube, universal);
     const std::uint32_t r = quant_rec(nf.hi, cube, universal);
     result = make_node(nf.var, l, r);
@@ -166,20 +167,22 @@ std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
   if (g == 1) return quant_rec(f, cube, /*universal=*/false);
   if (cube == 1) return ite_rec(f, g, 0);
 
-  const std::uint32_t top = std::min(nodes_[f].var, nodes_[g].var);
-  while (cube != 1 && nodes_[cube].var < top) cube = nodes_[cube].hi;
+  const std::uint32_t top_level =
+      std::min(level_of_node(f), level_of_node(g));
+  while (cube != 1 && level_of_node(cube) < top_level) cube = nodes_[cube].hi;
   if (cube == 1) return ite_rec(f, g, 0);
 
   const std::uint32_t hit = cache_lookup(Op::AndExists, f, g, cube);
   if (hit != kNil) return hit;
 
+  const std::uint32_t top_var = level_to_var_[top_level];
   const auto cof = [&](std::uint32_t n, bool hi) {
-    if (nodes_[n].var != top) return n;
+    if (nodes_[n].var != top_var) return n;
     return hi ? nodes_[n].hi : nodes_[n].lo;
   };
 
   std::uint32_t result;
-  if (nodes_[cube].var == top) {
+  if (nodes_[cube].var == top_var) {
     const std::uint32_t rest = nodes_[cube].hi;
     const std::uint32_t r0 = and_exists_rec(cof(f, false), cof(g, false), rest);
     if (r0 == 1) {
@@ -191,7 +194,7 @@ std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
   } else {
     const std::uint32_t r0 = and_exists_rec(cof(f, false), cof(g, false), cube);
     const std::uint32_t r1 = and_exists_rec(cof(f, true), cof(g, true), cube);
-    result = make_node(top, r0, r1);
+    result = make_node(top_var, r0, r1);
   }
   cache_insert(Op::AndExists, f, g, cube, result);
   return result;
@@ -236,7 +239,7 @@ std::uint32_t BddManager::compose_rec(std::uint32_t f, std::uint32_t v,
                                       std::uint32_t g) {
   if (f == 0 || f == 1) return f;
   const Node nf = nodes_[f];
-  if (nf.var > v) return f;  // ordered: v cannot occur below
+  if (var_to_level_[nf.var] > var_to_level_[v]) return f;  // v cannot occur below
   const std::uint32_t hit = cache_lookup(Op::Compose0, f, g, v);
   if (hit != kNil) return hit;
   std::uint32_t result;
@@ -262,7 +265,7 @@ std::uint32_t BddManager::cofactor_rec(std::uint32_t f, std::uint32_t v,
                                        bool phase) {
   if (f == 0 || f == 1) return f;
   const Node nf = nodes_[f];
-  if (nf.var > v) return f;
+  if (var_to_level_[nf.var] > var_to_level_[v]) return f;
   if (nf.var == v) return phase ? nf.hi : nf.lo;
   const std::uint32_t key = (static_cast<std::uint32_t>(v) << 1) |
                             static_cast<std::uint32_t>(phase);
@@ -305,9 +308,12 @@ Bdd BddManager::support_cube(const Bdd& f) {
 }
 
 Bdd BddManager::make_cube(const std::vector<std::uint32_t>& vars) {
-  // Build bottom-up (largest variable first) so each step is O(1).
+  // Build bottom-up (deepest level first) so each step is O(1).
   std::vector<std::uint32_t> sorted = vars;
-  std::sort(sorted.begin(), sorted.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return var_to_level_[a] < var_to_level_[b];
+            });
   std::uint32_t acc = 1;
   for (auto it = sorted.rbegin(); it != sorted.rend(); ++it)
     acc = make_node(*it, 0, acc);
@@ -321,7 +327,10 @@ Bdd BddManager::make_minterm(const std::vector<std::uint32_t>& vars,
   lits.reserve(vars.size());
   for (std::size_t i = 0; i < vars.size(); ++i)
     lits.emplace_back(vars[i], values[i]);
-  std::sort(lits.begin(), lits.end());
+  std::sort(lits.begin(), lits.end(),
+            [&](const auto& a, const auto& b) {
+              return var_to_level_[a.first] < var_to_level_[b.first];
+            });
   std::uint32_t acc = 1;
   for (auto it = lits.rbegin(); it != lits.rend(); ++it)
     acc = it->second ? make_node(it->first, 0, acc)
@@ -359,11 +368,17 @@ double BddManager::sat_count(const Bdd& f, std::uint32_t nvars,
     return normalize(a);
   };
 
+  // The recursion counts assignments of the levels below each node; the gap
+  // weights use LEVELS, so the per-node count depends on the current order —
+  // but the final total is scaled over all num_vars() levels and then
+  // adjusted to the caller's `nvars`-variable universe by a pure power of
+  // two, making the returned count a function of f alone (reordering f
+  // never changes its sat_count).
   std::unordered_map<std::uint32_t, Scaled> memo;
-  // rec(n) = number of assignments of variables in [var(n), nvars) that
-  // satisfy n; terminals behave as var == nvars.
-  auto var_of = [&](std::uint32_t n) -> std::uint32_t {
-    return (n <= 1) ? nvars : nodes_[n].var;
+  // rec(n) = number of assignments of the levels in [level(n), num_vars_)
+  // that satisfy n; terminals behave as level == num_vars_.
+  auto level_of = [&](std::uint32_t n) -> std::uint32_t {
+    return (n <= 1) ? num_vars_ : var_to_level_[nodes_[n].var];
   };
   auto rec = [&](auto&& self, std::uint32_t n) -> Scaled {
     if (n == 0) return Scaled{0, 0};
@@ -371,19 +386,23 @@ double BddManager::sat_count(const Bdd& f, std::uint32_t nvars,
     auto it = memo.find(n);
     if (it != memo.end()) return it->second;
     const Node nn = nodes_[n];
+    const std::uint32_t lvl = level_of(n);
     Scaled cl = self(self, nn.lo);
-    cl.e += var_of(nn.lo) - nn.var - 1;
+    cl.e += level_of(nn.lo) - lvl - 1;
     Scaled ch = self(self, nn.hi);
-    ch.e += var_of(nn.hi) - nn.var - 1;
+    ch.e += level_of(nn.hi) - lvl - 1;
     const Scaled result = add(cl, ch);
     memo.emplace(n, result);
     return result;
   };
 
   Scaled total = rec(rec, f.index());
-  // Variables above the root are free: scale by 2^var(root) (terminals act
-  // as var == nvars, making the constants 0 and 2^nvars).
-  total.e += var_of(f.index());
+  // Levels above the root are free: scale by 2^level(root) (terminals act
+  // as level == num_vars_, making the constants 0 and 2^num_vars_), then
+  // rescale from the manager's universe to the caller's nvars universe.
+  total.e += level_of(f.index());
+  total.e += static_cast<std::int64_t>(nvars) -
+             static_cast<std::int64_t>(num_vars_);
   total.e -= divide_exp;
   const double out = std::ldexp(total.m, static_cast<int>(
       std::clamp<std::int64_t>(total.e, -100000, 100000)));
@@ -419,7 +438,8 @@ std::vector<std::vector<bool>> BddManager::all_minterms(
     const Bdd& f, const std::vector<std::uint32_t>& vars, std::size_t limit) {
   XATPG_CHECK_SAME_MGR1(f);
   for (std::size_t i = 1; i < vars.size(); ++i)
-    XATPG_CHECK_MSG(vars[i - 1] < vars[i], "vars must be strictly ascending");
+    XATPG_CHECK_MSG(var_to_level_[vars[i - 1]] < var_to_level_[vars[i]],
+                    "vars must be strictly ascending in level");
   std::vector<std::vector<bool>> out;
   std::vector<bool> current(vars.size(), false);
   auto rec = [&](auto&& self, std::uint32_t node, std::size_t pos) -> void {
@@ -431,11 +451,10 @@ std::vector<std::vector<bool>> BddManager::all_minterms(
       out.push_back(current);
       return;
     }
-    const std::uint32_t node_var =
-        (node <= 1) ? 0xffffffffu : nodes_[node].var;
-    XATPG_CHECK_MSG(node_var >= vars[pos],
+    const std::uint32_t node_level = level_of_node(node);
+    XATPG_CHECK_MSG(node_level >= var_to_level_[vars[pos]],
                     "all_minterms: variable list does not cover support");
-    if (node_var == vars[pos]) {
+    if (node_level == var_to_level_[vars[pos]]) {
       const Node nn = nodes_[node];
       current[pos] = false;
       self(self, nn.lo, pos + 1);

@@ -26,7 +26,7 @@ std::optional<std::uint32_t> ExplicitCssg::find(
 Cssg::Cssg(const Netlist& netlist,
            const std::vector<std::vector<bool>>& reset_states,
            const CssgOptions& options)
-    : enc_(netlist, options.order), options_(options) {
+    : enc_(netlist, options.order, options.reorder), options_(options) {
   XATPG_CHECK_MSG(!reset_states.empty(), "need at least one reset state");
   reset_set_ = enc_.mgr().bdd_false();
   for (const auto& state : reset_states) {

@@ -36,6 +36,12 @@ struct CssgOptions {
   /// gate transitions only, so our k equals the paper's k minus one).
   std::size_t k = 24;
   VarOrder order = VarOrder::Interleaved;
+  /// Dynamic-reordering policy handed to the symbolic encoding (see
+  /// SymbolicEncoding: force-enabled for VarOrder::Sifted, passed through
+  /// otherwise).  All CSSG artifacts and queries are canonicalized to be
+  /// order-independent, so enabling reordering changes node counts and
+  /// timing, never results.
+  ReorderPolicy reorder{};
   /// Safety limit for explicit state enumeration.
   std::size_t max_explicit_states = 200000;
 };

@@ -13,6 +13,7 @@ const char* var_order_name(VarOrder order) {
     case VarOrder::Interleaved: return "interleaved";
     case VarOrder::Blocked: return "blocked";
     case VarOrder::ReverseInterleaved: return "reverse-interleaved";
+    case VarOrder::Sifted: return "sifted";
   }
   return "?";
 }
@@ -29,11 +30,29 @@ struct BddOps {
 };
 }  // namespace
 
-SymbolicEncoding::SymbolicEncoding(const Netlist& netlist, VarOrder order)
+SymbolicEncoding::SymbolicEncoding(const Netlist& netlist, VarOrder order,
+                                   const ReorderPolicy& reorder)
     : netlist_(&netlist),
       mgr_(static_cast<std::uint32_t>(3 * netlist.num_signals())) {
   build_layout(order);
   target_cache_.resize(netlist.num_signals());
+  pick_descent_is_canonical_ =
+      std::is_sorted(cur_vars_.begin(), cur_vars_.end());
+
+  // Group-preserving sifting: each signal's (cur, next, aux) triple moves
+  // as one block, so the renaming permutations stay intra-triple and the
+  // group cubes stay tight.  Blocked's triples are not level-adjacent, so
+  // it sifts ungrouped (still correct, just coarser).
+  if (order != VarOrder::Blocked && netlist.num_signals() > 0) {
+    std::vector<std::vector<std::uint32_t>> groups;
+    groups.reserve(netlist.num_signals());
+    for (SignalId s = 0; s < netlist.num_signals(); ++s)
+      groups.push_back({cur_vars_[s], next_vars_[s], aux_vars_[s]});
+    mgr_.set_var_groups(groups);
+  }
+  ReorderPolicy policy = reorder;
+  if (order == VarOrder::Sifted) policy.enabled = true;
+  if (policy.enabled) mgr_.set_reorder_policy(policy);
 }
 
 void SymbolicEncoding::build_layout(VarOrder order) {
@@ -47,6 +66,7 @@ void SymbolicEncoding::build_layout(VarOrder order) {
     switch (order) {
       case VarOrder::Interleaved:
       case VarOrder::ReverseInterleaved:
+      case VarOrder::Sifted:  // interleaved start; sifting re-sorts later
         cur_vars_[s] = 3 * rank;
         next_vars_[s] = 3 * rank + 1;
         aux_vars_[s] = 3 * rank + 2;
@@ -86,10 +106,34 @@ Bdd SymbolicEncoding::state_minterm_next(const std::vector<bool>& state) const {
 }
 
 std::vector<bool> SymbolicEncoding::pick_state_cur(const Bdd& set) const {
-  const auto tri = mgr_.pick_minterm(set, cur_vars_);
+  XATPG_CHECK_MSG(!set.is_false(), "cannot pick a state from the empty set");
+  // Fast path: an allocation-free root-to-leaf descent (lo preferred)
+  // yields the lexicographic minimum in LEVEL order; when cur levels still
+  // coincide with signal order that is already the canonical answer.
+  if (pick_descent_is_canonical_ && mgr_.swap_count() == 0) {
+    const auto tri = mgr_.pick_minterm(set, cur_vars_);
+    std::vector<bool> state(num_signals());
+    for (SignalId s = 0; s < num_signals(); ++s)
+      state[s] = tri[s] == Tri::One;  // DontCare -> 0 stays inside the set
+    return state;
+  }
+  // Greedy per-signal cofactoring in signal order: prefer 0, fall back to 1
+  // when forcing 0 empties the set.  This yields the lexicographically
+  // smallest member regardless of the manager's current variable order —
+  // unlike the raw descent above, whose choice follows levels and would
+  // drift under reordering.
   std::vector<bool> state(num_signals());
-  for (SignalId s = 0; s < num_signals(); ++s)
-    state[s] = tri[s] == Tri::One;  // DontCare -> 0 stays inside the set
+  Bdd rest = set;
+  for (SignalId s = 0; s < num_signals(); ++s) {
+    const Bdd zero = mgr_.cofactor(rest, cur_vars_[s], false);
+    if (zero.is_false()) {
+      state[s] = true;
+      rest = mgr_.cofactor(rest, cur_vars_[s], true);
+    } else {
+      state[s] = false;
+      rest = zero;
+    }
+  }
   return state;
 }
 
@@ -97,15 +141,17 @@ namespace {
 std::vector<std::vector<bool>> enum_states_over(
     BddManager& mgr, const Bdd& set, const std::vector<std::uint32_t>& vars,
     std::size_t limit) {
-  // all_minterms wants strictly ascending variable indices; sort the group
-  // and remember which signal each position corresponds to.
+  // all_minterms wants variables in strictly ascending LEVEL order (which
+  // tracks the dynamic order, not the variable indices); sort the group and
+  // remember which signal each position corresponds to.
   std::vector<std::pair<std::uint32_t, SignalId>> order;
   order.reserve(vars.size());
-  for (SignalId s = 0; s < vars.size(); ++s) order.emplace_back(vars[s], s);
+  for (SignalId s = 0; s < vars.size(); ++s)
+    order.emplace_back(mgr.level_of(vars[s]), s);
   std::sort(order.begin(), order.end());
   std::vector<std::uint32_t> sorted_vars;
   sorted_vars.reserve(order.size());
-  for (const auto& [v, s] : order) sorted_vars.push_back(v);
+  for (const auto& [lvl, s] : order) sorted_vars.push_back(vars[s]);
 
   const auto raw = mgr.all_minterms(set, sorted_vars, limit);
   std::vector<std::vector<bool>> out;
@@ -116,6 +162,12 @@ std::vector<std::vector<bool>> enum_states_over(
       state[order[pos].second] = assignment[pos];
     out.push_back(std::move(state));
   }
+  // The raw enumeration follows the level order; canonicalize to
+  // lexicographic signal order so state ids, edge lists and everything
+  // derived from them are identical for every static layout and at any
+  // point of a dynamic-reordering run.  (A no-op for the default
+  // interleaved layout, whose level order already enumerates this way.)
+  std::sort(out.begin(), out.end());
   return out;
 }
 }  // namespace

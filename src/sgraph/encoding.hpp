@@ -9,7 +9,18 @@
 //
 // The group/variable interleaving is selectable — the paper lists BDD
 // variable ordering as the main lever on 3-phase ATPG cost (§6), and
-// bench_ablation_ordering measures exactly this choice.
+// bench_ablation_ordering measures exactly this choice.  On top of the
+// static choices, the BDD kernel supports dynamic (Rudell sifting)
+// reordering: VarOrder::Sifted starts from the interleaved layout and lets
+// the manager re-sort as structures grow.  The encoding declares each
+// signal's (cur, next, aux) triple as one sifting GROUP, so reordering
+// moves whole signals: the triples stay adjacent, which keeps the
+// cur<->next/aux renaming permutations local and the quantification cubes
+// compact.  All queries below are canonicalized to be independent of the
+// current variable order (states enumerate in lexicographic signal order,
+// picks return the lexicographically smallest member), so everything built
+// on the encoding — CSSG, justification, the ATPG engine — produces
+// identical results whichever order the manager currently holds.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,7 @@ enum class VarOrder {
   Interleaved,         ///< x_i, y_i, w_i adjacent per signal (default)
   Blocked,             ///< all x, then all y, then all w
   ReverseInterleaved,  ///< interleaved, signals in reverse netlist order
+  Sifted,              ///< interleaved start + dynamic group sifting
 };
 
 const char* var_order_name(VarOrder order);
@@ -39,11 +51,23 @@ const char* var_order_name(VarOrder order);
 /// applies.  Cross-thread users shard — one SymbolicEncoding per worker.
 class SymbolicEncoding {
  public:
-  SymbolicEncoding(const Netlist& netlist, VarOrder order = VarOrder::Interleaved);
+  /// `reorder` configures dynamic sifting on the underlying manager.  For
+  /// VarOrder::Sifted the policy is force-enabled (with its defaults unless
+  /// the caller tuned them); for the static orders it is passed through
+  /// verbatim, so any layout can opt into reordering.  Interleaved-family
+  /// layouts (Interleaved / ReverseInterleaved / Sifted) register each
+  /// signal's (cur, next, aux) triple as a sifting group; Blocked cannot
+  /// (the triple is not level-adjacent) and sifts single variables.
+  SymbolicEncoding(const Netlist& netlist,
+                   VarOrder order = VarOrder::Interleaved,
+                   const ReorderPolicy& reorder = {});
 
   const Netlist& netlist() const { return *netlist_; }
   BddManager& mgr() const { return mgr_; }
   std::size_t num_signals() const { return netlist_->num_signals(); }
+
+  /// Run one sifting pass now (independent of the auto-trigger policy).
+  ReorderStats sift_now() const { return mgr_.sift(); }
 
   std::uint32_t cur_var(SignalId s) const { return cur_vars_[s]; }
   std::uint32_t next_var(SignalId s) const { return next_vars_[s]; }
@@ -70,11 +94,16 @@ class SymbolicEncoding {
   Bdd state_minterm_cur(const std::vector<bool>& state) const;
   Bdd state_minterm_next(const std::vector<bool>& state) const;
 
-  /// Pick one complete state from a non-empty set over cur variables
-  /// (don't-cares resolved to 0 — still a member of the set).
+  /// Pick one complete state from a non-empty set over cur variables: the
+  /// lexicographically smallest member (by signal index).  Canonical — the
+  /// result does not depend on the manager's current variable order, which
+  /// keeps justification sequences (and thus ATPG results) identical across
+  /// static layouts and dynamic reordering.
   std::vector<bool> pick_state_cur(const Bdd& set) const;
 
-  /// Enumerate all complete states in a set over cur (or next) variables.
+  /// Enumerate all complete states in a set over cur (or next) variables,
+  /// in lexicographic signal order — again canonical under reordering (the
+  /// explicit CSSG's state ids and edge order inherit this determinism).
   std::vector<std::vector<bool>> all_states_cur(
       const Bdd& set, std::size_t limit = 1u << 20) const;
   std::vector<std::vector<bool>> all_states_next(
@@ -101,6 +130,11 @@ class SymbolicEncoding {
 
   const Netlist* netlist_;
   mutable BddManager mgr_;
+  /// True when cur_vars_ ascends with the signal index, i.e. the creation
+  /// order already enumerates cur variables in signal order — then, as long
+  /// as the manager has never swapped levels, a raw BDD descent picks the
+  /// same lexicographic minimum the canonical cofactor loop would.
+  bool pick_descent_is_canonical_ = false;
   std::vector<std::uint32_t> cur_vars_, next_vars_, aux_vars_;
   std::vector<std::uint32_t> perm_cur_next_, perm_next_aux_, perm_cur_aux_;
   mutable std::vector<Bdd> target_cache_;

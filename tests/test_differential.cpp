@@ -1,0 +1,243 @@
+// Randomized differential tests: the symbolic pipeline against the explicit
+// enumerator, and the full ATPG engine against itself across every variable
+// -ordering configuration.
+//
+// Two oracles pin the symbolic machinery:
+//  1. The explicit race explorer (src/sim/explicit) re-derives the CSSG by
+//     brute force — BFS over valid vectors, every settling exhaustively
+//     interleaved — and the symbolic CSSG's state and edge sets must match
+//     it exactly, for every static variable order and with dynamic
+//     reordering enabled.
+//  2. AtpgEngine::run is a pure function of (netlist, reset, fault list,
+//     seed): all VarOrder modes x reorder on/off x threads {1, 4} must
+//     produce byte-identical outcomes, sequences and phase counters.  This
+//     is what licenses per-shard dynamic reordering in the fault-parallel
+//     engine — shards may hold wildly different orders mid-run, and it must
+//     be invisible.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "atpg/engine.hpp"
+#include "atpg/fault.hpp"
+#include "fixtures.hpp"
+#include "sgraph/cssg.hpp"
+#include "sim/explicit.hpp"
+
+namespace xatpg {
+namespace {
+
+constexpr std::size_t kSettle = 20;
+
+/// Aggressive policy so reordering actually fires on these small circuits.
+ReorderPolicy test_reorder_policy() {
+  ReorderPolicy policy;
+  policy.enabled = true;
+  policy.trigger_nodes = 256;
+  return policy;
+}
+
+const std::vector<VarOrder>& all_orders() {
+  static const std::vector<VarOrder> orders{
+      VarOrder::Interleaved, VarOrder::Blocked, VarOrder::ReverseInterleaved,
+      VarOrder::Sifted};
+  return orders;
+}
+
+// --- CSSG vs the explicit enumerator ------------------------------------------
+
+struct OracleCssg {
+  std::set<std::vector<bool>> states;
+  // (from state, input pattern, to state)
+  std::set<std::tuple<std::vector<bool>, std::vector<bool>, std::vector<bool>>>
+      edges;
+};
+
+/// Brute-force CSSG: BFS from reset over all input patterns, keeping only
+/// confluent settlings (exactly one stable outcome, every trajectory done
+/// within the bound) — the definition of a valid synchronous test vector.
+OracleCssg oracle_cssg(const Netlist& netlist, const std::vector<bool>& reset,
+                       std::size_t k) {
+  OracleCssg oracle;
+  const auto& inputs = netlist.inputs();
+  oracle.states.insert(reset);
+  std::vector<std::vector<bool>> worklist{reset};
+  while (!worklist.empty()) {
+    const std::vector<bool> state = worklist.back();
+    worklist.pop_back();
+    for (std::uint64_t bits = 0; bits < (1ull << inputs.size()); ++bits) {
+      std::vector<bool> pattern(inputs.size());
+      bool same = true;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        pattern[i] = (bits >> i) & 1;
+        same = same && (pattern[i] == state[inputs[i]]);
+      }
+      if (same) continue;  // R_I: at least one input must flip
+      const ExploreResult explored =
+          explore_settling(netlist, state, pattern, k);
+      if (!explored.confluent()) continue;
+      const std::vector<bool>& succ = *explored.stable_states.begin();
+      oracle.edges.insert({state, pattern, succ});
+      if (oracle.states.insert(succ).second) worklist.push_back(succ);
+    }
+  }
+  return oracle;
+}
+
+void expect_cssg_matches_oracle(const Netlist& netlist,
+                                const std::vector<bool>& reset,
+                                const OracleCssg& oracle, VarOrder order) {
+  SCOPED_TRACE(std::string("order=") + var_order_name(order));
+  CssgOptions options;
+  options.k = kSettle;
+  options.order = order;
+  options.reorder = test_reorder_policy();
+  const Cssg cssg(netlist, {reset}, options);
+  const ExplicitCssg graph = cssg.extract_explicit();
+
+  std::set<std::vector<bool>> states(graph.states.begin(), graph.states.end());
+  EXPECT_EQ(states, oracle.states);
+  EXPECT_EQ(states.size(), graph.states.size());  // ids are distinct states
+
+  std::set<std::tuple<std::vector<bool>, std::vector<bool>, std::vector<bool>>>
+      edges;
+  for (std::uint32_t id = 0; id < graph.states.size(); ++id)
+    for (const auto& edge : graph.edges[id])
+      edges.insert({graph.states[id], edge.pattern, graph.states[edge.to]});
+  EXPECT_EQ(edges, oracle.edges);
+
+  // The symbolic stable-reachable set must cover the oracle BFS (it also
+  // contains stable states only reachable through racing vectors).
+  const auto stable_explicit =
+      explicit_stable_reachable(netlist, reset, kSettle);
+  const auto stable_symbolic =
+      cssg.encoding().all_states_cur(cssg.stable_reachable());
+  EXPECT_EQ(std::set<std::vector<bool>>(stable_symbolic.begin(),
+                                        stable_symbolic.end()),
+            stable_explicit);
+}
+
+class CssgDifferential
+    : public ::testing::TestWithParam<std::pair<const char*,
+                                                fixtures::Circuit (*)()>> {};
+
+TEST_P(CssgDifferential, SymbolicMatchesExplicitForEveryOrder) {
+  const fixtures::Circuit fix = GetParam().second();
+  const OracleCssg oracle = oracle_cssg(fix.netlist, fix.reset, kSettle);
+  ASSERT_FALSE(oracle.states.empty());
+  for (const VarOrder order : all_orders())
+    expect_cssg_matches_oracle(fix.netlist, fix.reset, oracle, order);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, CssgDifferential,
+    ::testing::Values(std::pair{"fig1a", &fixtures::fig1a},
+                      std::pair{"fig1b", &fixtures::fig1b},
+                      std::pair{"celem", &fixtures::celem},
+                      std::pair{"latch", &fixtures::async_latch},
+                      std::pair{"pipeline2", &fixtures::pipeline2}),
+    [](const auto& info) { return std::string(info.param.first); });
+
+class RandomCssgDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomCssgDifferential, SymbolicMatchesExplicitForEveryOrder) {
+  fixtures::RandomNetlistOptions options;
+  options.num_inputs = 3;
+  options.num_gates = 6;
+  const fixtures::Circuit fix =
+      fixtures::random_netlist(GetParam(), options);
+  const OracleCssg oracle = oracle_cssg(fix.netlist, fix.reset, kSettle);
+  ASSERT_FALSE(oracle.states.empty());
+  for (const VarOrder order : all_orders())
+    expect_cssg_matches_oracle(fix.netlist, fix.reset, oracle, order);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCssgDifferential,
+                         ::testing::Values(3u, 7u, 11u, 19u, 23u));
+
+// --- engine invariance across ordering configurations -------------------------
+
+AtpgOptions engine_options(VarOrder order, bool reorder, std::size_t threads) {
+  AtpgOptions options;
+  options.order = order;
+  options.random_budget = 24;
+  options.random_walk_len = 6;
+  options.seed = 5;
+  options.threads = threads;
+  options.per_fault_seconds = 1e9;  // keep the caps deterministic
+  if (reorder) options.reorder = test_reorder_policy();
+  return options;
+}
+
+void expect_identical(const AtpgResult& base, const AtpgResult& other,
+                      const std::string& config) {
+  SCOPED_TRACE(config);
+  EXPECT_EQ(base.outcomes, other.outcomes);
+  EXPECT_EQ(base.sequences, other.sequences);
+  EXPECT_EQ(base.stats.by_random, other.stats.by_random);
+  EXPECT_EQ(base.stats.by_three_phase, other.stats.by_three_phase);
+  EXPECT_EQ(base.stats.by_fault_sim, other.stats.by_fault_sim);
+  EXPECT_EQ(base.stats.covered, other.stats.covered);
+  EXPECT_EQ(base.stats.undetected, other.stats.undetected);
+  EXPECT_EQ(base.stats.proven_redundant, other.stats.proven_redundant);
+}
+
+void check_engine_invariance(const Netlist& netlist,
+                             const std::vector<bool>& reset,
+                             const std::string& name, bool classify = false) {
+  const auto faults = input_stuck_faults(netlist);
+  std::optional<AtpgResult> base;
+  for (const VarOrder order : all_orders()) {
+    for (const bool reorder : {false, true}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        AtpgOptions options = engine_options(order, reorder, threads);
+        options.classify_undetectable = classify;
+        AtpgEngine engine(netlist, reset, options);
+        const AtpgResult result = engine.run(faults);
+        const std::string config = name + " order=" +
+                                   var_order_name(order) +
+                                   " reorder=" + (reorder ? "on" : "off") +
+                                   " threads=" + std::to_string(threads);
+        if (!base) {
+          base = result;
+          // The baseline must be meaningful, not vacuous.
+          EXPECT_GT(base->stats.total_faults, 0u) << config;
+        } else {
+          expect_identical(*base, result, config);
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineDifferential, Fig1aInvariantAcrossConfigs) {
+  const fixtures::Circuit c = fixtures::fig1a();
+  check_engine_invariance(c.netlist, c.reset, "fig1a");
+}
+
+TEST(EngineDifferential, Pipeline2InvariantAcrossConfigs) {
+  const fixtures::Circuit c = fixtures::pipeline2();
+  check_engine_invariance(c.netlist, c.reset, "pipeline2");
+}
+
+TEST(EngineDifferential, Pipeline2WithClassifierInvariant) {
+  const fixtures::Circuit c = fixtures::pipeline2();
+  check_engine_invariance(c.netlist, c.reset, "pipeline2+classify",
+                          /*classify=*/true);
+}
+
+TEST(EngineDifferential, RandomNetlistsInvariantAcrossConfigs) {
+  for (const std::uint64_t seed : {7u, 19u}) {
+    fixtures::RandomNetlistOptions options;
+    options.num_inputs = 3;
+    options.num_gates = 6;
+    const fixtures::Circuit c = fixtures::random_netlist(seed, options);
+    check_engine_invariance(c.netlist, c.reset,
+                            "random" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace xatpg

@@ -117,6 +117,39 @@ TEST(BddGolden, CssgPeakNodesOnFixtures) {
   }
 }
 
+TEST(BddGolden, PostSiftNodeCountsOnFixtures) {
+  // Dynamic-reordering regression lock: live node counts entering and
+  // leaving one sifting pass over the fully built symbolic pipeline.  Two
+  // invariants ride along with the exact numbers: a sifting pass may never
+  // leave the table LARGER than it found it (the starting position is
+  // always a candidate, so the configured max_growth bound only limits
+  // transients mid-walk), and a second pass from the already-optimized
+  // order may not grow it either.
+  struct Row {
+    const char* name;
+    fixtures::Circuit (*make)();
+    std::size_t k;
+    std::size_t before, after;
+  };
+  for (const Row& row : {Row{"fig1a", fixtures::fig1a, 20, 233, 204},
+                         Row{"fig1b", fixtures::fig1b, 20, 229, 200},
+                         Row{"chain", fixtures::chain, 20, 49, 49},
+                         Row{"celem", fixtures::celem, 20, 60, 60},
+                         Row{"latch", fixtures::async_latch, 20, 58, 50},
+                         Row{"pipeline2", fixtures::pipeline2, 24, 189, 173}}) {
+    const fixtures::Circuit fix = row.make();
+    CssgOptions options;
+    options.k = row.k;
+    Cssg cssg(fix.netlist, {fix.reset}, options);
+    const ReorderStats pass = cssg.encoding().sift_now();
+    EXPECT_EQ(pass.size_before, row.before) << row.name;
+    EXPECT_EQ(pass.size_after, row.after) << row.name;
+    EXPECT_LE(pass.size_after, pass.size_before) << row.name;
+    const ReorderStats again = cssg.encoding().sift_now();
+    EXPECT_LE(again.size_after, row.after) << row.name << " (second pass)";
+  }
+}
+
 // --- random-netlist generator stability --------------------------------------
 
 TEST(GeneratorGolden, Seed7Shape) {

@@ -47,12 +47,21 @@ void expect_identical(const AtpgResult& base, const AtpgResult& other,
 }
 
 void check_determinism(const Netlist& netlist, const std::vector<bool>& reset,
-                       const std::string& name, bool classify = false) {
+                       const std::string& name, bool classify = false,
+                       bool reorder = false) {
   std::optional<AtpgResult> base_in, base_out;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}}) {
     AtpgOptions options = determinism_options(threads);
     options.classify_undetectable = classify;
+    if (reorder) {
+      // Aggressive trigger so per-shard sifting actually fires mid-run
+      // (several times per run on these circuits): each worker's shard
+      // reorders on its own schedule, and that must stay invisible in the
+      // merged results.
+      options.reorder.enabled = true;
+      options.reorder.trigger_nodes = 64;
+    }
     AtpgEngine engine(netlist, reset, options);
     const AtpgResult in = engine.run(input_stuck_faults(netlist));
     const AtpgResult out = engine.run(output_stuck_faults(netlist));
@@ -90,6 +99,20 @@ TEST(ParallelDeterminism, RpdftWithClassifier) {
   const auto synth = benchmark_circuit("rpdft", SynthStyle::SpeedIndependent);
   check_determinism(synth.netlist, synth.reset_state, "rpdft",
                     /*classify=*/true);
+}
+
+// Dynamic BDD reordering runs per shard, at shard-local trigger points that
+// differ with the fault split — the determinism guarantee must hold anyway.
+TEST(ParallelDeterminism, Pipeline2WithReordering) {
+  const fixtures::Circuit c = fixtures::pipeline2();
+  check_determinism(c.netlist, c.reset, "pipeline2+reorder",
+                    /*classify=*/false, /*reorder=*/true);
+}
+
+TEST(ParallelDeterminism, RpdftWithClassifierAndReordering) {
+  const auto synth = benchmark_circuit("rpdft", SynthStyle::SpeedIndependent);
+  check_determinism(synth.netlist, synth.reset_state, "rpdft+reorder",
+                    /*classify=*/true, /*reorder=*/true);
 }
 
 // Thread count 0 (= hardware concurrency) must also match threads=1.
