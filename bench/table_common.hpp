@@ -1,6 +1,7 @@
 // Shared harness for the Table 1 / Table 2 reproductions: runs the full
 // ATPG flow (random TPG -> 3-phase -> fault simulation) on a benchmark
-// suite and prints the paper's columns.
+// suite through the public xatpg::Session facade and prints the paper's
+// columns.
 #pragma once
 
 #include <cerrno>
@@ -10,14 +11,35 @@
 #include <string>
 #include <vector>
 
-#include "atpg/engine.hpp"
-#include "benchmarks/benchmarks.hpp"
+#include "benchmarks/benchmarks.hpp"  // suite name lists (in-tree only)
 #include "util/timer.hpp"
+#include "xatpg/xatpg.hpp"
 
 namespace xatpg::benchtab {
 
+/// Parse and range-check one numeric flag value.  strtoul silently wraps
+/// negatives and saturates overflow — reject both along with trailing
+/// garbage, and enforce [min_value, max_value].  Shared by every counted
+/// flag so the validation cannot drift per flag.
+inline unsigned long parse_count_flag(const char* flag, const char* value,
+                                      unsigned long min_value,
+                                      unsigned long max_value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || value[0] == '-' || errno == ERANGE ||
+      parsed < min_value || parsed > max_value) {
+    std::fprintf(stderr, "invalid %s value '%s' (want %lu..%lu)\n", flag,
+                 value, min_value, max_value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 /// Apply the shared command-line flags to `options`:
 ///   --threads N   fault-parallel 3-phase workers (0 = hardware threads)
+///   --seed N      random TPG seed
+///   --k N         settle bound per test cycle (TCR_k; also the simulator's)
 ///   --reorder     enable dynamic BDD variable reordering (sifting) on the
 ///                 engine context and every worker shard.  Coverage and
 ///                 sequences are guaranteed identical to the default run
@@ -26,23 +48,22 @@ namespace xatpg::benchtab {
 /// Unknown arguments abort with a usage message.
 inline void parse_flags(int argc, char** argv, AtpgOptions& options) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const char* value = argv[++i];
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long parsed = std::strtoul(value, &end, 10);
-      // strtoul silently wraps negatives and saturates overflow — reject
-      // both along with trailing garbage.
-      if (end == value || *end != '\0' || value[0] == '-' ||
-          errno == ERANGE || parsed > 4096) {
-        std::fprintf(stderr, "invalid --threads value '%s'\n", value);
-        std::exit(2);
-      }
-      options.threads = static_cast<std::size_t>(parsed);
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--threads") == 0 && has_value) {
+      options.threads = static_cast<std::size_t>(
+          parse_count_flag("--threads", argv[++i], 0, AtpgOptions::kMaxThreads));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && has_value) {
+      options.seed = parse_count_flag("--seed", argv[++i], 0, ~0ul);
+    } else if (std::strcmp(argv[i], "--k") == 0 && has_value) {
+      options.k = static_cast<std::size_t>(
+          parse_count_flag("--k", argv[++i], 1, 1ul << 20));
+      options.sim.k = options.k;
     } else if (std::strcmp(argv[i], "--reorder") == 0) {
       options.reorder.enabled = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--reorder]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--seed N] [--k N] [--reorder]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -63,27 +84,39 @@ inline Row run_circuit(const std::string& name, SynthStyle style,
                        const AtpgOptions& options) {
   Row row;
   row.name = name;
-  const SynthResult synth = benchmark_circuit(name, style);
+  // The timed window starts before session construction: CSSG building is
+  // part of the paper's CPU column (and was timed the same way when this
+  // harness drove AtpgEngine directly).
   Timer timer;
-  AtpgEngine engine(synth.netlist, synth.reset_state, options);
+  Expected<Session> session = Session::from_benchmark(name, style, options);
+  if (!session) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 session.error().to_string().c_str());
+    std::exit(1);
+  }
 
-  const auto out_result = engine.run(output_stuck_faults(synth.netlist));
-  row.out_tot = out_result.stats.total_faults;
-  row.out_cov = out_result.stats.covered;
-
-  const auto in_result = engine.run(input_stuck_faults(synth.netlist));
-  row.in_tot = in_result.stats.total_faults;
-  row.in_cov = in_result.stats.covered;
-  row.rnd = in_result.stats.by_random;
-  row.three_ph = in_result.stats.by_three_phase;
-  row.sim = in_result.stats.by_fault_sim;
+  const Expected<AtpgResult> out_result =
+      session->run(session->output_stuck_faults());
+  const Expected<AtpgResult> in_result =
+      session->run(session->input_stuck_faults());
+  if (!out_result || !in_result) {
+    const Error& error = !out_result ? out_result.error() : in_result.error();
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), error.to_string().c_str());
+    std::exit(1);
+  }
+  row.out_tot = out_result->stats.total_faults;
+  row.out_cov = out_result->stats.covered;
+  row.in_tot = in_result->stats.total_faults;
+  row.in_cov = in_result->stats.covered;
+  row.rnd = in_result->stats.by_random;
+  row.three_ph = in_result->stats.by_three_phase;
+  row.sim = in_result->stats.by_fault_sim;
   row.cpu_ms = timer.millis();
 
-  BddManager& mgr = engine.cssg().encoding().mgr();
-  row.peak_nodes = mgr.peak_nodes();
-  mgr.collect_garbage();
-  row.live_nodes = mgr.allocated_nodes();
-  row.reorders = mgr.reorder_count();
+  const ShardBddStats bdd = session->bdd_stats();
+  row.peak_nodes = bdd.peak_nodes;
+  row.live_nodes = bdd.live_nodes;
+  row.reorders = bdd.reorders;
   return row;
 }
 

@@ -1,51 +1,97 @@
-// Generate a complete synchronous test program for a benchmark and then
-// *be* the tester: replay it cycle by cycle against a simulated device
-// (fault-free, plus one sample faulty device) and report the verdicts.
+// Generate a complete synchronous test program through the public
+// xatpg::Session facade and then *be* the tester: replay it cycle by cycle
+// against a simulated device (fault-free, plus one sample faulty device)
+// and report the verdicts.
 //
 //   $ ./examples/tester_export [benchmark-name]    (default: ebergen)
+//
+// The ATPG flow (load, run, export) uses only the public API.  The device
+// replay at the bottom deliberately reaches into the internal simulators
+// (sim/explicit.hpp, atpg/fault_sim.hpp): it plays the *device under test*,
+// not the library — an out-of-tree tester would drive real silicon here.
 #include <iostream>
 #include <sstream>
 
-#include "atpg/engine.hpp"
-#include "atpg/fault_sim.hpp"
-#include "benchmarks/benchmarks.hpp"
+#include "xatpg/xatpg.hpp"
+
+// Internal headers, used only to simulate the DUT (see the file comment).
 #include "sim/explicit.hpp"
+#include "atpg/fault_sim.hpp"
 
 int main(int argc, char** argv) {
   using namespace xatpg;
   const std::string name = argc > 1 ? argv[1] : "ebergen";
 
-  const SynthResult synth = benchmark_circuit(name, SynthStyle::SpeedIndependent);
-  const Netlist& circuit = synth.netlist;
   AtpgOptions options;
   options.random_budget = 32;
-  AtpgEngine engine(circuit, synth.reset_state, options);
-  const auto faults = input_stuck_faults(circuit);
-  const AtpgResult result = engine.run(faults);
+  Expected<Session> session =
+      Session::from_benchmark(name, SynthStyle::SpeedIndependent, options);
+  if (!session) {
+    std::cerr << "session failed: " << session.error().to_string() << "\n";
+    return 1;
+  }
+  const Expected<AtpgResult> run = session->run(session->input_stuck_faults());
+  if (!run) {
+    std::cerr << "run failed: " << run.error().to_string() << "\n";
+    return 1;
+  }
+  const AtpgResult& result = *run;
+  const Expected<std::string> program = session->test_program(result);
+  if (!program) {
+    std::cerr << "export failed: " << program.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << *program << "\n";
 
-  std::ostringstream program;
-  write_test_program(program, circuit, engine, result.sequences);
-  std::cout << program.str() << "\n";
+  // --- tester side: replay against simulated devices -----------------------
+  // Reconstruct the circuit from the session's own .xnl export, exactly the
+  // way a detached tester would receive it, and read the expected
+  // primary-output strobes back out of the program *text* — the tester
+  // trusts the shipped program, not the library internals.
+  const Netlist circuit = parse_xnl_string(session->circuit_xnl());
+  const std::vector<bool>& reset = session->reset_state();
+  std::vector<std::vector<std::string>> expected;  // per sequence, per cycle
+  {
+    std::istringstream in(*program);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind(".sequence", 0) == 0) {
+        expected.emplace_back();
+      } else if (!expected.empty()) {
+        const auto slash = line.find(" / ");
+        if (slash != std::string::npos)
+          expected.back().push_back(line.substr(slash + 3));
+      }
+    }
+  }
 
-  // Replay against the fault-free device: every strobe must match.
   std::size_t cycles = 0;
-  bool golden_ok = true;
-  for (const auto& seq : result.sequences) {
-    const auto path = engine.follow(seq);
-    std::vector<bool> device = synth.reset_state;
+  bool golden_ok = expected.size() == result.sequences.size();
+  std::vector<std::vector<std::vector<bool>>> good_states;  // per seq, per cycle
+  for (std::size_t s = 0; s < result.sequences.size(); ++s) {
+    const auto& seq = result.sequences[s];
+    std::vector<bool> device = reset;
+    std::vector<std::vector<bool>> states;
     for (std::size_t t = 0; t < seq.vectors.size(); ++t) {
-      const auto settled = explore_settling(circuit, device, seq.vectors[t],
-                                            options.k);
+      const auto settled =
+          explore_settling(circuit, device, seq.vectors[t], options.k);
       if (!settled.confluent()) {
         golden_ok = false;
         break;
       }
       device = *settled.stable_states.begin();
+      states.push_back(device);
       ++cycles;
+      // Strobe: the device's outputs must match the program's printed
+      // response for this cycle.
+      std::string response;
       for (const SignalId po : circuit.outputs())
-        if (device[po] != engine.graph().states[(*path)[t + 1]][po])
-          golden_ok = false;
+        response += device[po] ? '1' : '0';
+      if (s >= expected.size() || t >= expected[s].size() ||
+          expected[s][t] != response)
+        golden_ok = false;
     }
+    good_states.push_back(std::move(states));
   }
   std::cout << "# golden-device replay: " << cycles << " cycles, "
             << (golden_ok ? "all strobes match" : "MISMATCH (bug!)") << "\n";
@@ -54,16 +100,17 @@ int main(int argc, char** argv) {
   for (const auto& outcome : result.outcomes) {
     if (outcome.covered_by == CoveredBy::None) continue;
     const auto& seq = result.sequences[outcome.sequence_index];
-    const auto path = engine.follow(seq);
-    FaultSimulator sim(circuit, outcome.fault, synth.reset_state);
+    const auto& states = good_states[outcome.sequence_index];
+    if (states.size() != seq.vectors.size()) continue;  // golden replay broke
+    FaultSimulator sim(circuit, outcome.fault, reset);
     DetectStatus status = sim.status();
     std::size_t at = 0;
     for (std::size_t t = 0;
          t < seq.vectors.size() && status == DetectStatus::Undetermined; ++t) {
-      status = sim.step(seq.vectors[t], engine.graph().states[(*path)[t + 1]]);
+      status = sim.step(seq.vectors[t], states[t]);
       at = t + 1;
     }
-    std::cout << "# faulty-device replay (" << outcome.fault.describe(circuit)
+    std::cout << "# faulty-device replay (" << session->describe(outcome.fault)
               << "): flagged at cycle " << at << " of sequence "
               << outcome.sequence_index << "\n";
     break;

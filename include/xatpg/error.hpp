@@ -1,0 +1,124 @@
+// Typed error layer of the public xatpg API.
+//
+// Every failure a consumer can trigger through the facade (bad input text,
+// unsynthesizable specification, degenerate options, blown resource caps)
+// surfaces as an xatpg::Error carried inside an Expected<T> — never as a
+// process abort, std::exit, or an internal exception escaping the API.
+// Internal invariant violations (xatpg::CheckError) are translated at the
+// facade boundary into ErrorCode::ResourceError so tools always get a
+// diagnosable value.
+//
+// This header is self-contained (standard library only) so out-of-tree
+// consumers can use it against an installed package.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xatpg {
+
+/// Failure taxonomy of the public API.
+enum class ErrorCode {
+  ParseError,     ///< malformed .xnl / .bench / test-program text
+  SynthError,     ///< specification cannot be synthesized (e.g. CSC fails)
+  OptionError,    ///< degenerate options, unknown names, invalid faults
+  ResourceError,  ///< resource caps exceeded, missing files, internal limits
+};
+
+constexpr const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ParseError: return "ParseError";
+    case ErrorCode::SynthError: return "SynthError";
+    case ErrorCode::OptionError: return "OptionError";
+    case ErrorCode::ResourceError: return "ResourceError";
+  }
+  return "Error";
+}
+
+/// A typed failure: taxonomy code plus a human-readable diagnostic.
+struct Error {
+  ErrorCode code = ErrorCode::ResourceError;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+
+  bool operator==(const Error&) const = default;
+};
+
+/// Thrown only when a consumer dereferences an errored Expected without
+/// checking — a programming error in the consumer, not a library failure.
+class BadExpectedAccess : public std::logic_error {
+ public:
+  explicit BadExpectedAccess(const Error& error)
+      : std::logic_error("Expected accessed without a value — " +
+                         error.to_string()) {}
+};
+
+/// Minimal result type (std::expected is C++23; the library targets C++20):
+/// holds either a T or an Error.  Check with has_value()/operator bool before
+/// dereferencing; value() on an errored Expected throws BadExpectedAccess.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Expected(Error error) : v_(std::move(error)) {}   // NOLINT(runtime/explicit)
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    if (!has_value()) throw BadExpectedAccess(std::get<Error>(v_));
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    if (!has_value()) throw BadExpectedAccess(std::get<Error>(v_));
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    if (!has_value()) throw BadExpectedAccess(std::get<Error>(v_));
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Precondition: !has_value().
+  const Error& error() const { return std::get<Error>(v_); }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Expected<void>: success carries no value.
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error error) : err_(std::move(error)) {}  // NOLINT(runtime/explicit)
+
+  bool has_value() const { return !err_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  void value() const {
+    if (err_) throw BadExpectedAccess(*err_);
+  }
+
+  /// Precondition: !has_value().
+  const Error& error() const { return *err_; }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace xatpg

@@ -1,0 +1,100 @@
+// Public option types of the xatpg API: BDD variable ordering and dynamic
+// reordering knobs, fault-simulation caps, and the full ATPG option block
+// with boundary validation.
+//
+// Canonical definitions — library internals include this header (see
+// xatpg/types.hpp for the policy).  AtpgOptions::validate() is the single
+// gate for degenerate values: the Session facade surfaces its result as a
+// typed OptionError, and the legacy AtpgEngine constructor rejects invalid
+// options loudly (CheckError) instead of silently accepting them.
+#pragma once
+
+#include <cstdint>
+
+#include "xatpg/error.hpp"
+
+namespace xatpg {
+
+/// Static BDD variable layout for the symbolic encoding's three variable
+/// groups (present / next / auxiliary state).
+enum class VarOrder {
+  Interleaved,         ///< x_i, y_i, w_i adjacent per signal (default)
+  Blocked,             ///< all x, then all y, then all w
+  ReverseInterleaved,  ///< interleaved, signals in reverse netlist order
+  Sifted,              ///< interleaved start + dynamic group sifting
+};
+
+const char* var_order_name(VarOrder order);
+
+/// Dynamic (Rudell sifting) reordering policy for a BDD manager.
+struct ReorderPolicy {
+  /// Auto-reorder at public operation entry once the live-node count
+  /// crosses the trigger.  Explicit sift() calls work regardless.
+  bool enabled = false;
+  /// First auto-sift watermark (live nodes after GC).
+  std::size_t trigger_nodes = 1024;
+  /// A sifted block's walk aborts in a direction once the table grows past
+  /// max_growth x the best size seen for that block (transient bound; the
+  /// accepted position is never worse than the starting one).
+  double max_growth = 1.2;
+  /// After an auto-sift the next trigger is
+  /// max(trigger_nodes, size_after * trigger_growth).
+  double trigger_growth = 2.0;
+};
+
+/// Caps for the exact consistent-set fault simulator.
+struct FaultSimOptions {
+  std::size_t k = 24;            ///< settle bound per test cycle
+  std::size_t candidate_cap = 256;
+};
+
+struct AtpgOptions {
+  std::size_t k = 24;                    ///< settle bound (TCR_k)
+  VarOrder order = VarOrder::Interleaved;
+  /// Dynamic BDD reordering for the symbolic shards.  Every worker shard
+  /// (and the engine's own context) gets the same policy and reorders
+  /// independently whenever its own tables cross the trigger; results stay
+  /// byte-identical across thread counts and orders because every symbolic
+  /// query the engine consumes is canonicalized to be order-independent.
+  ReorderPolicy reorder{};
+  std::size_t random_budget = 512;       ///< vectors spent in random TPG
+  std::size_t random_walk_len = 48;      ///< restart interval (reset pulses)
+  std::uint64_t seed = 1;
+  std::size_t diff_depth = 16;           ///< differentiation BFS depth
+  std::size_t diff_node_cap = 20000;     ///< differentiation BFS nodes
+  /// Wall-clock budget per fault for the 3-phase search (the classic ATPG
+  /// backtrack limit, in time units): exceeded => fault left undetected.
+  /// NOTE: this is the one nondeterministic cap — under heavy load a search
+  /// can time out that otherwise would not.  The deterministic caps
+  /// (diff_depth / diff_node_cap) bind long before it on every shipped
+  /// benchmark; raise it when exercising the cross-thread determinism
+  /// guarantee under slow sanitizers.
+  double per_fault_seconds = 2.0;
+  FaultSimOptions sim;
+  /// Phase 1+2 enabled (ablation: false forces pure differentiation BFS
+  /// from reset for every fault).
+  bool use_activation = true;
+  /// A-priori undetectable-fault classification (§6's proposed
+  /// improvement): before searching, prove a fault redundant when its
+  /// faulted line never carries the opposite of the stuck value in *any*
+  /// state a legal test session can pass through.  Sound; skips the
+  /// 3-phase search for proven faults.
+  bool classify_undetectable = false;
+  /// Worker threads for the fault-parallel 3-phase search.  1 = run on the
+  /// engine's own symbolic context only; 0 = one worker per hardware
+  /// thread.  Outcomes and sequences are byte-identical for every value.
+  std::size_t threads = 1;
+
+  /// Hard ceiling for `threads` (beyond it a value is a typo, not a fleet).
+  static constexpr std::size_t kMaxThreads = 4096;
+
+  /// Boundary validation: rejects the degenerate values every layer above
+  /// used to accept silently (k = 0 makes every vector "oscillate",
+  /// diff_depth = 0 disables phase 3 entirely, per_fault_seconds <= 0 times
+  /// every search out before it starts, threads > 4096 is a typo).  Returns
+  /// an OptionError listing *all* violations.  The Session facade calls
+  /// this for every run; AtpgEngine's constructor enforces it loudly.
+  Expected<void> validate() const;
+};
+
+}  // namespace xatpg

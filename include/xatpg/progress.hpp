@@ -1,0 +1,116 @@
+// Streaming run model of the public xatpg API: phase transitions, per-fault
+// resolution events, periodic progress snapshots (including per-shard BDD
+// statistics), and cooperative cancellation.
+//
+// Observer contract
+// -----------------
+//  * Every callback is invoked on the thread that called Session::run /
+//    AtpgEngine::run — never from a worker thread — so observers need no
+//    locking of their own state.
+//  * Callbacks fire between faults (and between work blocks during the
+//    parallel 3-phase fan-out); keep them cheap, they sit on the run's
+//    critical path.
+//  * on_fault_resolved fires exactly once per fault whose outcome becomes
+//    final during the run (covered by any phase, or proven redundant);
+//    faults left undetected get no event.  Events arrive in deterministic
+//    order for a fixed fault list, independent of the thread count.  One
+//    caveat for incremental runs (add_faults): a FaultSim event for a fault
+//    whose 3-phase search has not run yet reports the sequence that covered
+//    it at that moment; the final result may attribute an *earlier*
+//    sequence once the search status is known (coverage itself is final).
+//  * A CancelToken may be fired from any thread (it is a thread-safe shared
+//    flag), including from inside an observer callback.  The run stops at
+//    the next between-faults checkpoint and returns the deterministic
+//    partial result (AtpgResult::cancelled == true).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "xatpg/types.hpp"
+
+namespace xatpg {
+
+/// Cooperative cancellation handle: a copyable reference to a shared flag.
+/// Copies observe the same flag; request_cancel() is safe from any thread.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { flag_->store(false, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Phases of one run, in order (Classify is skipped unless
+/// AtpgOptions::classify_undetectable is set).
+enum class RunPhase : std::uint8_t {
+  RandomTpg,   ///< random walks on the explicit CSSG
+  Classify,    ///< a-priori undetectable-fault classification
+  ThreePhase,  ///< fault-parallel 3-phase search + deterministic merge
+  Done,        ///< run finished (also fired after a cancelled run)
+};
+
+constexpr const char* run_phase_name(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::RandomTpg: return "random-tpg";
+    case RunPhase::Classify: return "classify";
+    case RunPhase::ThreePhase: return "three-phase";
+    case RunPhase::Done: return "done";
+  }
+  return "?";
+}
+
+/// BDD accounting for one symbolic shard.  Shard 0 is the engine's own
+/// context (the main thread's worker); shards 1..N-1 are the worker shards,
+/// reported only once they have been built (lazy workers that never claim a
+/// fault block stay at zero).
+struct ShardBddStats {
+  std::size_t shard = 0;
+  std::size_t live_nodes = 0;   ///< allocated nodes (live + uncollected)
+  std::size_t peak_nodes = 0;   ///< allocated-node watermark
+  std::size_t reorders = 0;     ///< sifting passes performed
+  std::size_t faults_done = 0;  ///< 3-phase searches completed on this shard
+};
+
+/// Periodic progress snapshot, emitted from the run's calling thread.
+struct RunProgress {
+  RunPhase phase = RunPhase::RandomTpg;
+  std::size_t faults_total = 0;
+  /// Faults whose outcome is final (covered or proven redundant).
+  std::size_t faults_resolved = 0;
+  std::size_t covered = 0;
+  std::size_t sequences_committed = 0;
+  double elapsed_seconds = 0;
+  std::vector<ShardBddStats> shards;
+};
+
+/// Streaming observer for Session::run / AtpgEngine::run.  Default methods
+/// are no-ops: override only what you need.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// A phase begins.  RunPhase::Done fires exactly once, at the end.
+  virtual void on_phase(RunPhase /*phase*/) {}
+
+  /// Fault `outcome.fault` (index `fault_index` in the run's fault list)
+  /// reached its final outcome: covered by some phase, or proven redundant.
+  virtual void on_fault_resolved(std::size_t /*fault_index*/,
+                                 const FaultOutcome& /*outcome*/) {}
+
+  /// Periodic snapshot (after each random walk, between generation work
+  /// blocks, after each committed sequence).
+  virtual void on_progress(const RunProgress& /*progress*/) {}
+};
+
+}  // namespace xatpg

@@ -1,0 +1,151 @@
+// xatpg::Session — the stable public facade of the library.
+//
+// A Session owns one circuit, its test-mode reset state, and the symbolic
+// ATPG engine (CSSG abstraction + per-worker BDD shards) built for it.  It
+// is the supported way to drive the paper's flow from outside the library:
+//
+//   auto session = xatpg::Session::from_benchmark("chu150",
+//                                                 xatpg::SynthStyle::SpeedIndependent);
+//   if (!session) { /* session.error() is a typed xatpg::Error */ }
+//   auto result = session->run(session->input_stuck_faults());
+//   std::cout << result->stats.coverage();
+//
+// Lifecycle
+// ---------
+//  1. Construct through a factory (from_xnl / from_xnl_file /
+//     from_benchmark).  All construction failures — malformed text, failed
+//     synthesis, degenerate options, blown resource caps — come back as
+//     typed errors; nothing aborts or exits.
+//  2. run(faults) establishes the session's fault universe and runs the
+//     full flow (random TPG -> 3-phase symbolic ATPG -> cross fault
+//     simulation), optionally streaming progress to a RunObserver and
+//     honouring a CancelToken (see xatpg/progress.hpp for the contract).
+//  3. add_faults(more) grows the universe *incrementally*: new faults are
+//     first cross-simulated against the already-committed sequences, and
+//     only the still-uncovered ones pay for a 3-phase search.  The combined
+//     result is byte-identical to a from-scratch run on the union universe.
+//     add_faults({}) after a cancelled run resumes it: cached searches are
+//     reused and the final result is byte-identical to an uncancelled run.
+//  4. Results, test-program export and statistics are read back at any
+//     time; the expensive artifacts (CSSG, shards, generated tests) persist
+//     across runs on the same Session.
+//
+// A Session is single-threaded (one run at a time, from one thread); fire
+// the CancelToken from any thread to stop a run cooperatively.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xatpg/error.hpp"
+#include "xatpg/options.hpp"
+#include "xatpg/progress.hpp"
+#include "xatpg/types.hpp"
+
+namespace xatpg {
+
+class Session {
+ public:
+  // --- construction (typed-error factories) ---------------------------------
+
+  /// Parse a circuit from .xnl text.  The reset state is the stable state
+  /// reached by relaxing the all-false assignment; a circuit that cannot
+  /// settle from there yields ResourceError.
+  static Expected<Session> from_xnl(const std::string& text,
+                                    const AtpgOptions& options = {});
+
+  /// Like from_xnl, reading the text from a file (missing/unreadable file
+  /// yields ResourceError).
+  static Expected<Session> from_xnl_file(const std::string& path,
+                                         const AtpgOptions& options = {});
+
+  /// Synthesize one of the named benchmark reconstructions (Table 1/2
+  /// suites, fig1a/fig1b).  Unknown names yield OptionError; a failed
+  /// synthesis yields SynthError.
+  static Expected<Session> from_benchmark(
+      const std::string& name,
+      SynthStyle style = SynthStyle::SpeedIndependent,
+      const AtpgOptions& options = {});
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  // --- circuit --------------------------------------------------------------
+
+  const std::string& circuit_name() const;
+  std::size_t num_inputs() const;
+  std::size_t num_outputs() const;
+  std::size_t num_signals() const;
+  /// Total gate input pins (the input stuck-at fault sites).
+  std::size_t num_pins() const;
+  /// The circuit in native .xnl text (round-trips through from_xnl).
+  std::string circuit_xnl() const;
+  /// The stable test-mode reset state (one bit per signal).
+  const std::vector<bool>& reset_state() const;
+
+  const AtpgOptions& options() const;
+
+  // --- CSSG abstraction -----------------------------------------------------
+
+  /// Figure-2-style statistics of the CSSG built for this circuit.
+  const CssgStats& cssg_stats() const;
+  /// Graphviz dump of the explicit CSSG (stable states + valid vectors).
+  std::string cssg_dot() const;
+
+  // --- fault universes ------------------------------------------------------
+
+  /// All input (gate-pin) stuck-at faults: 2 per pin.
+  std::vector<Fault> input_stuck_faults() const;
+  /// All output (signal) stuck-at faults: 2 per signal.
+  std::vector<Fault> output_stuck_faults() const;
+  /// "pin c.1 s-a-0" / "out y s-a-1" style description.
+  std::string describe(const Fault& fault) const;
+
+  // --- runs -----------------------------------------------------------------
+
+  /// Run the full flow on `faults` (replacing any previous universe).
+  /// Streams events to `observer` and stops cooperatively between faults
+  /// when `cancel` fires (the partial result is deterministic and
+  /// resumable).  Invalid faults (out-of-range ids) yield OptionError.
+  Expected<AtpgResult> run(const std::vector<Fault>& faults,
+                           RunObserver* observer = nullptr,
+                           const CancelToken* cancel = nullptr);
+
+  /// Grow the universe incrementally (see the file header).  The returned
+  /// result covers the whole union universe and is byte-identical to a
+  /// from-scratch run on it.
+  Expected<AtpgResult> add_faults(const std::vector<Fault>& faults,
+                                  RunObserver* observer = nullptr,
+                                  const CancelToken* cancel = nullptr);
+
+  /// The current fault universe (what run/add_faults accumulated).
+  const std::vector<Fault>& fault_universe() const;
+  /// True once run() has produced a result on this session.
+  bool has_result() const;
+  /// The last run's result.  Precondition: has_result().
+  const AtpgResult& last_result() const;
+
+  // --- export & accounting --------------------------------------------------
+
+  /// Tester-facing export of `result`'s sequences: vectors and expected
+  /// primary-output responses per cycle.  Sequences that are not valid CSSG
+  /// paths of this circuit yield OptionError.
+  Expected<std::string> test_program(const AtpgResult& result) const;
+
+  /// BDD accounting of the engine's own symbolic context (shard 0):
+  /// allocated-node watermark, live nodes after a garbage collection, and
+  /// sifting passes.
+  ShardBddStats bdd_stats() const;
+
+ private:
+  struct Impl;
+  explicit Session(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xatpg

@@ -1,0 +1,133 @@
+// Public data types of the xatpg API: signal ids, the stuck-at fault model,
+// test sequences, ATPG outcomes/statistics, CSSG statistics, and the
+// synthesis style selector.
+//
+// These are the *canonical* definitions — library internals (src/) include
+// this header rather than keeping private copies, so the public surface and
+// the implementation cannot drift apart.  The header is self-contained
+// (standard library only); the few member functions that touch internal
+// classes (Fault::describe, Fault::to_injection) are declared against
+// forward declarations and defined inside the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xatpg {
+
+class Netlist;        // internal: netlist/netlist.hpp
+struct LaneInjection;  // internal: sim/parallel.hpp
+
+/// Signal identifier: index of the gate driving the signal.
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = 0xffffffffu;
+
+/// Synthesis style for benchmark reconstructions (the paper's two suites).
+enum class SynthStyle : std::uint8_t {
+  SpeedIndependent,  ///< one atomic gC per non-input signal (Petrify's role)
+  BoundedDelay,      ///< two-level AND-OR with combinational feedback (SIS)
+};
+
+/// Stuck-at fault (§1, §5): the paper's fault model is the *input* stuck-at
+/// model — every gate input pin stuck at 0/1 — which subsumes the output
+/// stuck-at model (every signal stuck at 0/1) because each signal drives
+/// some pin; the tables report both universes separately and so do we.
+struct Fault {
+  enum class Site : std::uint8_t {
+    GatePin,       ///< connection into fanin position `pin` of gate `gate`
+    SignalOutput,  ///< output of gate `gate` (includes primary inputs)
+  };
+  Site site = Site::GatePin;
+  SignalId gate = kNoSignal;
+  std::size_t pin = 0;
+  bool stuck_value = false;
+
+  bool operator==(const Fault&) const = default;
+
+  /// "pin c.1 s-a-0" / "out y s-a-1" style description.
+  std::string describe(const Netlist& netlist) const;
+
+  /// Injection spec for the 64-lane parallel ternary simulator (internal).
+  LaneInjection to_injection(std::uint64_t lanes) const;
+};
+
+/// One synchronous test: input vectors applied from reset, one per test
+/// cycle.
+struct TestSequence {
+  std::vector<std::vector<bool>> vectors;
+
+  bool operator==(const TestSequence&) const = default;
+};
+
+enum class CoveredBy : std::uint8_t {
+  None,        ///< undetected (possibly redundant)
+  Random,      ///< random TPG (the paper's "rnd" column)
+  ThreePhase,  ///< 3-phase symbolic ATPG ("3-ph")
+  FaultSim,    ///< detected while simulating another fault's test ("sim")
+};
+
+constexpr const char* covered_by_name(CoveredBy by) {
+  switch (by) {
+    case CoveredBy::None: return "none";
+    case CoveredBy::Random: return "random";
+    case CoveredBy::ThreePhase: return "three-phase";
+    case CoveredBy::FaultSim: return "fault-sim";
+  }
+  return "?";
+}
+
+struct FaultOutcome {
+  Fault fault;
+  CoveredBy covered_by = CoveredBy::None;
+  int sequence_index = -1;  ///< index into AtpgResult::sequences
+  /// Proven undetectable by the a-priori classifier (covered_by == None).
+  bool proven_redundant = false;
+
+  bool operator==(const FaultOutcome&) const = default;
+};
+
+struct AtpgStats {
+  std::size_t total_faults = 0;
+  std::size_t covered = 0;
+  std::size_t by_random = 0;
+  std::size_t by_three_phase = 0;
+  std::size_t by_fault_sim = 0;
+  std::size_t undetected = 0;
+  std::size_t proven_redundant = 0;
+  double seconds = 0;
+  double random_seconds = 0;
+  double three_phase_seconds = 0;
+
+  double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(covered) / static_cast<double>(total_faults);
+  }
+};
+
+struct AtpgResult {
+  std::vector<FaultOutcome> outcomes;
+  std::vector<TestSequence> sequences;
+  AtpgStats stats;
+  /// True when the run was stopped early by a CancelToken.  The partial
+  /// result is deterministic: outcomes committed so far are final, and the
+  /// sequence list is a prefix of the uncancelled run's.
+  bool cancelled = false;
+};
+
+/// Sizes reported for Figure-2-style TCSG -> CSSG statistics.
+struct CssgStats {
+  double reachable_states = 0;         ///< TCSG states (stable + unstable)
+  double stable_states = 0;            ///< stable reachable states
+  double tcr_pairs = 0;                ///< |TCR_k|
+  double nonconfluent_pairs = 0;       ///< pruned: sibling outcome differs
+  double unstable_pairs = 0;           ///< pruned: unsettled k-step sibling
+  double cssg_edges = 0;               ///< |CSSG_k|
+  double cssg_reachable_states = 0;    ///< states reachable by valid vectors
+  std::size_t traversal_iterations = 0;
+  std::size_t tcr_steps = 0;
+  std::size_t peak_bdd_nodes = 0;
+};
+
+}  // namespace xatpg

@@ -1,0 +1,12 @@
+// Umbrella header for the public xatpg API.
+//
+// Out-of-tree consumers use these headers only (installed under
+// <prefix>/include/xatpg and exported via find_package(xatpg)); everything
+// under src/ is internal and unversioned.
+#pragma once
+
+#include "xatpg/error.hpp"     // IWYU pragma: export
+#include "xatpg/options.hpp"   // IWYU pragma: export
+#include "xatpg/progress.hpp"  // IWYU pragma: export
+#include "xatpg/session.hpp"   // IWYU pragma: export
+#include "xatpg/types.hpp"     // IWYU pragma: export

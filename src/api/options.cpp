@@ -1,0 +1,45 @@
+// Boundary validation for the public option block (xatpg/options.hpp).
+#include <cmath>
+#include <sstream>
+
+#include "xatpg/options.hpp"
+
+namespace xatpg {
+
+Expected<void> AtpgOptions::validate() const {
+  std::ostringstream problems;
+  const auto reject = [&problems](const char* what) {
+    if (problems.tellp() > 0) problems << "; ";
+    problems << what;
+  };
+
+  if (k == 0)
+    reject("k = 0 (every input pattern would be classified as oscillating; "
+           "need at least one gate transition per test cycle)");
+  if (diff_depth == 0)
+    reject("diff_depth = 0 (phase 3 differentiation would be disabled "
+           "entirely)");
+  if (diff_node_cap == 0)
+    reject("diff_node_cap = 0 (the differentiation BFS could never expand a "
+           "node)");
+  if (random_walk_len == 0)
+    reject("random_walk_len = 0 (random TPG would loop applying reset pulses "
+           "without ever spending its budget)");
+  if (threads > kMaxThreads)
+    reject("threads > 4096 (far beyond any machine this targets — almost "
+           "certainly a typo; 0 means one worker per hardware thread)");
+  if (!(per_fault_seconds > 0) || std::isnan(per_fault_seconds))
+    reject("per_fault_seconds <= 0 (every 3-phase search would time out "
+           "before expanding a single state)");
+  if (sim.k == 0)
+    reject("sim.k = 0 (the fault simulator could never settle a test cycle)");
+  if (sim.candidate_cap == 0)
+    reject("sim.candidate_cap = 0 (the consistent-set simulator would give "
+           "up on every fault immediately)");
+
+  if (problems.tellp() > 0)
+    return Error{ErrorCode::OptionError, problems.str()};
+  return {};
+}
+
+}  // namespace xatpg

@@ -1,5 +1,6 @@
 #include "atpg/engine.hpp"
 
+#include <atomic>
 #include <deque>
 #include <exception>
 #include <ostream>
@@ -23,12 +24,41 @@ std::size_t resolved_threads(std::size_t requested) {
   return hw != 0 ? hw : 1;
 }
 
+bool cancel_fired(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->cancelled();
+}
+
 }  // namespace
+
+std::size_t AtpgEngine::FaultHash::operator()(const Fault& fault) const {
+  // splitmix-style mix of the four fields; quality matters little (the map
+  // holds at most a few thousand faults) but determinism does not — this is
+  // never iterated, only probed.
+  std::uint64_t h = static_cast<std::uint64_t>(fault.gate);
+  h = (h << 20) ^ (static_cast<std::uint64_t>(fault.pin) << 2);
+  h ^= static_cast<std::uint64_t>(fault.site == Fault::Site::GatePin) << 1;
+  h ^= static_cast<std::uint64_t>(fault.stuck_value);
+  h *= 0x9e3779b97f4a7c15ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+/// Published by each worker at fault granularity; read by the run's calling
+/// thread to stream per-shard BDD statistics while generation is running.
+struct AtpgEngine::ShardCounters {
+  std::atomic<std::size_t> live{0};
+  std::atomic<std::size_t> peak{0};
+  std::atomic<std::size_t> reorders{0};
+  std::atomic<std::size_t> done{0};
+};
 
 AtpgEngine::AtpgEngine(const Netlist& netlist,
                        const std::vector<bool>& reset_state,
                        const AtpgOptions& options)
     : netlist_(&netlist), reset_state_(reset_state), options_(options) {
+  const Expected<void> valid = options_.validate();
+  XATPG_CHECK_MSG(valid.has_value(),
+                  "invalid AtpgOptions — " << valid.error().message);
   cssg_ = build_shard();
   graph_ = cssg_->extract_explicit();
   const auto reset_id = graph_.find(reset_state);
@@ -201,55 +231,118 @@ std::optional<TestSequence> AtpgEngine::generate_test(
 // Fault-parallel generation
 // ---------------------------------------------------------------------------
 
-void AtpgEngine::generate_parallel(
-    const std::vector<Fault>& faults, const std::vector<std::size_t>& todo,
-    std::vector<std::optional<TestSequence>>& generated) {
+void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
+                                   const std::vector<std::size_t>& todo,
+                                   const CancelToken* cancel,
+                                   RunObserver* observer,
+                                   const std::function<RunProgress()>& make_base,
+                                   std::vector<std::size_t>& shard_done) {
   const std::size_t workers =
       std::min(resolved_threads(options_.threads),
                todo.empty() ? std::size_t{1} : todo.size());
+  if (shard_done.size() < workers) shard_done.resize(workers, 0);
+
+  // Results land here first (slot per fault index, written by exactly one
+  // worker) and are memoized after the join: the cache is not touched from
+  // worker threads.
+  std::vector<std::optional<TestSequence>> generated(faults.size());
+  std::vector<char> attempted(faults.size(), 0);
+
   if (workers <= 1) {
-    for (const std::size_t i : todo)
+    for (const std::size_t i : todo) {
+      if (cancel_fired(cancel)) break;
       generated[i] = generate_test_on(*cssg_, faults[i]);
-    return;
+      attempted[i] = 1;
+      ++shard_done[0];
+    }
+  } else {
+    // Workers claim coarse blocks of fault indices; each block is processed
+    // on the worker's private shard.  Writing generated[i] is race-free:
+    // every index is claimed by exactly one block.
+    ChunkedWorkQueue<std::size_t> queue(
+        todo, work_block_size(todo.size(), workers));
+    if (extra_shards_.size() < workers - 1) extra_shards_.resize(workers - 1);
+    std::vector<ShardCounters> counters(workers);
+    std::vector<std::exception_ptr> errors(workers);
+    {
+      ThreadPool pool(workers - 1);
+      for (std::size_t w = 1; w < workers; ++w) {
+        pool.submit([&, w] {
+          try {
+            // Claim a block before (lazily) building the shard: a worker
+            // that never gets work must not pay for a full symbolic
+            // construction.
+            while (const auto block = queue.pop_block()) {
+              if (!extra_shards_[w - 1]) extra_shards_[w - 1] = build_shard();
+              const Cssg& shard = *extra_shards_[w - 1];
+              for (const std::size_t i : *block) {
+                if (cancel_fired(cancel)) return;
+                generated[i] = generate_test_on(shard, faults[i]);
+                attempted[i] = 1;
+                const BddManager& mgr = shard.encoding().mgr();
+                counters[w].live.store(mgr.allocated_nodes(),
+                                       std::memory_order_relaxed);
+                counters[w].peak.store(mgr.peak_nodes(),
+                                       std::memory_order_relaxed);
+                counters[w].reorders.store(mgr.reorder_count(),
+                                           std::memory_order_relaxed);
+                counters[w].done.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          } catch (...) {
+            errors[w] = std::current_exception();
+          }
+        });
+      }
+      // The main thread is worker 0, on the engine's own context.  Between
+      // its own blocks it streams a progress snapshot assembled from the
+      // workers' published counters (observer contract: callbacks fire on
+      // the calling thread only).
+      try {
+        while (const auto block = queue.pop_block()) {
+          for (const std::size_t i : *block) {
+            if (cancel_fired(cancel)) break;
+            generated[i] = generate_test_on(*cssg_, faults[i]);
+            attempted[i] = 1;
+            counters[0].done.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (observer != nullptr) {
+            RunProgress progress = make_base();
+            const BddManager& own = cssg_->encoding().mgr();
+            progress.shards.push_back(ShardBddStats{
+                0, own.allocated_nodes(), own.peak_nodes(),
+                own.reorder_count(),
+                shard_done[0] +
+                    counters[0].done.load(std::memory_order_relaxed)});
+            for (std::size_t w = 1; w < workers; ++w) {
+              progress.shards.push_back(ShardBddStats{
+                  w, counters[w].live.load(std::memory_order_relaxed),
+                  counters[w].peak.load(std::memory_order_relaxed),
+                  counters[w].reorders.load(std::memory_order_relaxed),
+                  shard_done[w] +
+                      counters[w].done.load(std::memory_order_relaxed)});
+            }
+            observer->on_progress(progress);
+          }
+          if (cancel_fired(cancel)) break;
+        }
+      } catch (...) {
+        errors[0] = std::current_exception();
+      }
+      pool.wait_idle();
+    }
+    for (const std::exception_ptr& error : errors)
+      if (error) std::rethrow_exception(error);
+    // Fold this batch's per-shard completions into the run-level totals so
+    // snapshots emitted after the join keep reporting them.
+    for (std::size_t w = 0; w < workers; ++w)
+      shard_done[w] += counters[w].done.load(std::memory_order_relaxed);
   }
 
-  // Workers claim coarse blocks of fault indices; each block is processed
-  // on the worker's private shard.  Writing generated[i] is race-free: every
-  // index is claimed by exactly one block.
-  ChunkedWorkQueue<std::size_t> queue(todo,
-                                      work_block_size(todo.size(), workers));
-  if (extra_shards_.size() < workers - 1) extra_shards_.resize(workers - 1);
-  std::vector<std::exception_ptr> errors(workers);
-  {
-    ThreadPool pool(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) {
-      pool.submit([&, w] {
-        try {
-          // Claim a block before (lazily) building the shard: a worker that
-          // never gets work must not pay for a full symbolic construction.
-          while (const auto block = queue.pop_block()) {
-            if (!extra_shards_[w - 1]) extra_shards_[w - 1] = build_shard();
-            const Cssg& shard = *extra_shards_[w - 1];
-            for (const std::size_t i : *block)
-              generated[i] = generate_test_on(shard, faults[i]);
-          }
-        } catch (...) {
-          errors[w] = std::current_exception();
-        }
-      });
-    }
-    // The main thread is worker 0, on the engine's own context.
-    try {
-      while (const auto block = queue.pop_block())
-        for (const std::size_t i : *block)
-          generated[i] = generate_test_on(*cssg_, faults[i]);
-    } catch (...) {
-      errors[0] = std::current_exception();
-    }
-    pool.wait_idle();
-  }
-  for (const std::exception_ptr& error : errors)
-    if (error) std::rethrow_exception(error);
+  // Memoize completed searches (single-threaded again).  Faults skipped by
+  // a fired CancelToken stay unmemoized and are attempted by a later run.
+  for (const std::size_t i : todo)
+    if (attempted[i]) generated_cache_.emplace(faults[i], std::move(generated[i]));
 }
 
 // ---------------------------------------------------------------------------
@@ -258,11 +351,10 @@ void AtpgEngine::generate_parallel(
 
 void AtpgEngine::cross_simulate(
     const std::vector<Fault>& faults,
-    const std::vector<std::optional<TestSequence>>& generated,
-    std::vector<std::unique_ptr<FaultSimulator>>& sims,
-    std::size_t committed, const TestSequence& seq,
-    const std::vector<std::uint32_t>& path, int seq_index,
-    AtpgResult& result) const {
+    std::vector<std::unique_ptr<FaultSimulator>>& sims, std::size_t committed,
+    const TestSequence& seq, const std::vector<std::uint32_t>& path,
+    int seq_index, AtpgResult& result,
+    std::vector<std::size_t>& resolved) const {
   std::vector<std::size_t> remaining;
   for (std::size_t j = 0; j < faults.size(); ++j) {
     if (j == committed) continue;
@@ -289,11 +381,20 @@ void AtpgEngine::cross_simulate(
 
   for (const std::size_t j : remaining) {
     // Exact pass for ternary flags (confirmation before attribution) and
-    // for faults whose own 3-phase search failed — for those the exact
-    // simulator is the only remaining chance at coverage, exactly as in the
-    // serial engine; skipping it would regress coverage where ternary is
-    // too conservative.
-    if (!flagged[j] && generated[j].has_value()) continue;
+    // for faults whose own 3-phase search already completed and failed —
+    // for those the exact simulator is the only remaining chance at
+    // coverage, exactly as in the serial engine; skipping it would regress
+    // coverage where ternary is too conservative.  Faults whose search has
+    // not run yet (incremental growth) are screened by ternary only here;
+    // the post-generation catch-up in run_universe replays the committed
+    // sequences for any of them that turn out search-exhausted, which keeps
+    // incremental results byte-identical to a from-scratch union run.
+    if (!flagged[j]) {
+      const auto it = generated_cache_.find(faults[j]);
+      const bool search_exhausted =
+          it != generated_cache_.end() && !it->second.has_value();
+      if (!search_exhausted) continue;
+    }
     FaultSimulator& sim = *sims[j];
     sim.restart();
     DetectStatus status = sim.status();
@@ -304,6 +405,7 @@ void AtpgEngine::cross_simulate(
       result.outcomes[j].covered_by = CoveredBy::FaultSim;
       result.outcomes[j].sequence_index = seq_index;
       ++result.stats.by_fault_sim;
+      resolved.push_back(j);
     }
   }
 }
@@ -312,12 +414,77 @@ void AtpgEngine::cross_simulate(
 // Full flow
 // ---------------------------------------------------------------------------
 
-AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
+AtpgResult AtpgEngine::run(const std::vector<Fault>& faults,
+                           RunObserver* observer, const CancelToken* cancel) {
+  universe_ = faults;
+  return run_universe(observer, cancel);
+}
+
+AtpgResult AtpgEngine::add_faults(const std::vector<Fault>& faults,
+                                  RunObserver* observer,
+                                  const CancelToken* cancel) {
+  universe_.insert(universe_.end(), faults.begin(), faults.end());
+  return run_universe(observer, cancel);
+}
+
+AtpgResult AtpgEngine::run_universe(RunObserver* observer,
+                                    const CancelToken* cancel) {
+  const std::vector<Fault>& faults = universe_;
   Timer total_timer;
   AtpgResult result;
   result.outcomes.reserve(faults.size());
   for (const Fault& f : faults) result.outcomes.push_back(FaultOutcome{f});
   result.stats.total_faults = faults.size();
+
+  const auto is_cancelled = [&] {
+    if (cancel_fired(cancel)) {
+      result.cancelled = true;
+      return true;
+    }
+    return false;
+  };
+  std::size_t resolved_count = 0;
+  const auto notify_resolved = [&](std::size_t index) {
+    ++resolved_count;
+    if (observer != nullptr)
+      observer->on_fault_resolved(index, result.outcomes[index]);
+  };
+  const auto progress_snapshot = [&](RunPhase phase) {
+    RunProgress progress;
+    progress.phase = phase;
+    progress.faults_total = faults.size();
+    progress.faults_resolved = resolved_count;
+    progress.covered = result.stats.by_random + result.stats.by_three_phase +
+                       result.stats.by_fault_sim;
+    progress.sequences_committed = result.sequences.size();
+    progress.elapsed_seconds = total_timer.seconds();
+    return progress;
+  };
+  // Per-shard 3-phase searches completed so far this run (index = worker
+  // slot; filled by generate_parallel, reported by every later snapshot).
+  std::vector<std::size_t> shard_done;
+  // Full snapshot incl. shard stats — only safe while no workers run (the
+  // parallel fan-out assembles its own snapshots from published counters).
+  const auto emit_progress = [&](RunPhase phase) {
+    if (observer == nullptr) return;
+    RunProgress progress = progress_snapshot(phase);
+    const auto done_of = [&](std::size_t w) {
+      return w < shard_done.size() ? shard_done[w] : std::size_t{0};
+    };
+    const BddManager& own = cssg_->encoding().mgr();
+    progress.shards.push_back(ShardBddStats{0, own.allocated_nodes(),
+                                            own.peak_nodes(),
+                                            own.reorder_count(), done_of(0)});
+    for (std::size_t w = 0; w < extra_shards_.size(); ++w) {
+      if (!extra_shards_[w]) continue;
+      const BddManager& mgr = extra_shards_[w]->encoding().mgr();
+      progress.shards.push_back(ShardBddStats{w + 1, mgr.allocated_nodes(),
+                                              mgr.peak_nodes(),
+                                              mgr.reorder_count(),
+                                              done_of(w + 1)});
+    }
+    observer->on_progress(progress);
+  };
 
   // Long-lived exact simulators, one per fault — stepped along random walks
   // first, restart()ed per committed sequence in the merge phase later.
@@ -328,10 +495,11 @@ AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
                                                     reset_state_, options_.sim));
 
   // --- Random TPG (§5.4) ----------------------------------------------------
+  if (observer != nullptr) observer->on_phase(RunPhase::RandomTpg);
   Timer random_timer;
   Rng rng(options_.seed);
   std::size_t budget = options_.random_budget;
-  while (budget > 0) {
+  while (budget > 0 && !is_cancelled()) {
     // A fresh walk models a reset pulse followed by random valid vectors.
     // A circuit whose reset state has no valid vector at all (every pattern
     // races — it happens on heavily hazardous bounded-delay circuits)
@@ -340,7 +508,7 @@ AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
     for (auto& sim : sims) sim->restart();
     TestSequence walk;
     std::uint32_t good_id = reset_id_;
-    bool detected_any = false;
+    std::vector<std::size_t> walk_resolved;
     for (std::size_t step = 0; step < options_.random_walk_len && budget > 0;
          ++step) {
       const auto& edges = graph_.edges[good_id];
@@ -357,54 +525,155 @@ AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
           result.outcomes[i].sequence_index =
               static_cast<int>(result.sequences.size());
           ++result.stats.by_random;
-          detected_any = true;
+          walk_resolved.push_back(i);
         }
       }
       good_id = edge.to;
     }
-    if (detected_any) result.sequences.push_back(walk);
+    if (!walk_resolved.empty()) {
+      result.sequences.push_back(walk);
+      for (const std::size_t i : walk_resolved) notify_resolved(i);
+      emit_progress(RunPhase::RandomTpg);
+    }
     // Stop early once everything is covered.
     if (result.stats.by_random == faults.size()) break;
   }
   result.stats.random_seconds = random_timer.seconds();
 
   // --- a-priori undetectable-fault classification (optional, §6) ------------
-  if (options_.classify_undetectable) {
-    for (std::size_t i = 0; i < faults.size(); ++i) {
+  if (options_.classify_undetectable && !result.cancelled) {
+    if (observer != nullptr) observer->on_phase(RunPhase::Classify);
+    for (std::size_t i = 0; i < faults.size() && !is_cancelled(); ++i) {
       if (result.outcomes[i].covered_by != CoveredBy::None) continue;
       if (provably_redundant(faults[i])) {
         result.outcomes[i].proven_redundant = true;
         ++result.stats.proven_redundant;
+        notify_resolved(i);
       }
     }
+    emit_progress(RunPhase::Classify);
   }
 
   // --- fault-parallel 3-phase ATPG (§5.1–§5.3) -------------------------------
   Timer three_phase_timer;
+  if (observer != nullptr) observer->on_phase(RunPhase::ThreePhase);
   std::vector<std::size_t> todo;
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (result.outcomes[i].covered_by == CoveredBy::None &&
         !result.outcomes[i].proven_redundant)
       todo.push_back(i);
-  std::vector<std::optional<TestSequence>> generated(faults.size());
-  generate_parallel(faults, todo, generated);
 
   // --- deterministic merge + cross fault simulation (§5.4) -------------------
   // Commit strictly in fault-list order; a fault already picked up by an
   // earlier committed sequence's cross simulation discards its own test.
+  // Generation is batched lazily *inside* the merge: the first fault whose
+  // search is not memoized triggers one parallel fan-out over every
+  // still-uncovered unmemoized fault.  On a fresh universe that batch is
+  // the entire todo list before any commit (identical to generating up
+  // front); on an incrementally grown universe the committed prefix runs
+  // from the cache first, its cross simulation covers new faults for free,
+  // and only the survivors pay for a search.
+  std::vector<std::vector<std::uint32_t>> committed_paths;  // 3-phase commits
+  std::vector<int> committed_indices;                       // their seq indices
+  // Unmemoized faults that cross simulation covers get a *tentative*
+  // FaultSim attribution: once their search status is known (see the
+  // fix-up after the merge loop) the attributed sequence may move earlier.
+  std::vector<std::pair<std::size_t, std::size_t>> tentative;  // (fault, commit#)
+  // Exact replay of one committed sequence (by commit position) for fault
+  // j; true if the fault is detected.
+  const auto replays_detect = [&](std::size_t j, std::size_t commit) {
+    const TestSequence& seq = result.sequences[committed_indices[commit]];
+    const auto& path = committed_paths[commit];
+    FaultSimulator& sim = *sims[j];
+    sim.restart();
+    DetectStatus status = sim.status();
+    for (std::size_t t = 0;
+         t < seq.vectors.size() && status == DetectStatus::Undetermined; ++t)
+      status = sim.step(seq.vectors[t], graph_.states[path[t + 1]]);
+    return status == DetectStatus::Detected;
+  };
   for (const std::size_t i : todo) {
+    if (is_cancelled()) break;
     if (result.outcomes[i].covered_by != CoveredBy::None) continue;
-    if (!generated[i]) continue;  // undetected (redundant or beyond caps)
+    auto cached = generated_cache_.find(faults[i]);
+    if (cached == generated_cache_.end()) {
+      std::vector<std::size_t> batch;
+      for (const std::size_t j : todo)
+        if (result.outcomes[j].covered_by == CoveredBy::None &&
+            !generated_cache_.contains(faults[j]))
+          batch.push_back(j);
+      generate_parallel(
+          faults, batch, cancel, observer,
+          [&] { return progress_snapshot(RunPhase::ThreePhase); }, shard_done);
+
+      // Catch-up for byte-identity with a from-scratch run: a batch fault
+      // whose search turned out exhausted would — in the from-scratch run —
+      // have had the exact-fallback replay at *every* earlier commit.  Redo
+      // that now against this run's committed sequences, in commit order;
+      // the earliest detection wins.  (Batch faults were all uncovered at
+      // batch time, so any detection here is their first.)
+      for (const std::size_t j : batch) {
+        const auto it = generated_cache_.find(faults[j]);
+        if (it == generated_cache_.end() || it->second.has_value()) continue;
+        for (std::size_t c = 0; c < committed_paths.size(); ++c) {
+          if (!replays_detect(j, c)) continue;
+          ++result.stats.by_fault_sim;
+          result.outcomes[j].covered_by = CoveredBy::FaultSim;
+          result.outcomes[j].sequence_index = committed_indices[c];
+          notify_resolved(j);
+          break;
+        }
+      }
+
+      if (is_cancelled()) break;
+      cached = generated_cache_.find(faults[i]);
+      // The batch itself was cut short by a cancel before reaching fault i.
+      if (cached == generated_cache_.end()) break;
+      if (result.outcomes[i].covered_by != CoveredBy::None) continue;
+    }
+    if (!cached->second) continue;  // undetected (redundant or beyond caps)
+    const TestSequence& seq = *cached->second;
     const int seq_index = static_cast<int>(result.sequences.size());
     result.outcomes[i].covered_by = CoveredBy::ThreePhase;
     result.outcomes[i].sequence_index = seq_index;
     ++result.stats.by_three_phase;
 
-    const auto path = follow(*generated[i]);
+    const auto path = follow(seq);
     XATPG_CHECK(path.has_value());
-    cross_simulate(faults, generated, sims, i, *generated[i], *path,
-                   seq_index, result);
-    result.sequences.push_back(*generated[i]);
+    std::vector<std::size_t> resolved;
+    cross_simulate(faults, sims, i, seq, *path, seq_index, result, resolved);
+    result.sequences.push_back(seq);
+    committed_paths.push_back(*path);
+    committed_indices.push_back(seq_index);
+    for (const std::size_t j : resolved)
+      if (!generated_cache_.contains(faults[j]))
+        tentative.emplace_back(j, committed_paths.size() - 1);
+    notify_resolved(i);
+    for (const std::size_t j : resolved) notify_resolved(j);
+    emit_progress(RunPhase::ThreePhase);
+  }
+
+  // Attribution fix-up for the tentatively covered faults.  A from-scratch
+  // run knows every fault's search status before its first commit, so a
+  // search-exhausted fault is FaultSim-attributed to the earliest commit
+  // its *exact* replay detects — which can precede the flagged commit that
+  // covered it here (the ternary screen is conservative).  Replay the
+  // earlier commits; only if one detects does the search status matter, and
+  // only then is the (memoized, per-fault-pure, main-thread — so still
+  // deterministic) search actually paid for.
+  for (const auto& [j, covered_at] : tentative) {
+    std::optional<int> earlier;
+    for (std::size_t c = 0; c < covered_at; ++c) {
+      if (replays_detect(j, c)) {
+        earlier = committed_indices[c];
+        break;
+      }
+    }
+    if (!earlier) continue;  // attribution already matches from-scratch
+    auto it = generated_cache_.find(faults[j]);
+    if (it == generated_cache_.end())
+      it = generated_cache_.emplace(faults[j], generate_test(faults[j])).first;
+    if (!it->second.has_value()) result.outcomes[j].sequence_index = *earlier;
   }
   result.stats.three_phase_seconds = three_phase_timer.seconds();
 
@@ -412,6 +681,10 @@ AtpgResult AtpgEngine::run(const std::vector<Fault>& faults) {
                          result.stats.by_fault_sim;
   result.stats.undetected = result.stats.total_faults - result.stats.covered;
   result.stats.seconds = total_timer.seconds();
+  if (observer != nullptr) {
+    observer->on_phase(RunPhase::Done);
+    emit_progress(RunPhase::Done);
+  }
   return result;
 }
 

@@ -3,6 +3,13 @@
 // cross fault simulation of every generated sequence — with per-phase
 // statistics matching the paper's table columns (rnd / 3-ph / sim).
 //
+// Public-surface note: the plain data types this engine produces and
+// consumes (AtpgOptions, Fault, TestSequence, CoveredBy, FaultOutcome,
+// AtpgStats, AtpgResult) and the streaming run model (RunObserver,
+// RunProgress, CancelToken) are part of the installed API and live under
+// include/xatpg/; the engine itself is internal — out-of-tree consumers
+// drive it through xatpg::Session.
+//
 // Parallel architecture: the 3-phase search is embarrassingly parallel
 // across the fault list, so run() fans it out over `threads` workers.
 //   * Each worker owns a private symbolic shard — a full Cssg (its own
@@ -23,114 +30,49 @@
 //     paper's "sim" column) runs as a post-merge word-parallel ternary pass
 //     in 64-lane batches (+ exact confirmation).  Results are therefore
 //     byte-identical for any thread count, including threads=1.
+//
+// Streaming, cancellation, incrementality:
+//   * run(faults, observer, cancel) fires RunObserver callbacks from the
+//     calling thread only, checks the CancelToken between faults (and
+//     between work blocks inside the parallel fan-out), and on cancellation
+//     returns the deterministic partial result: the sequence list is a
+//     prefix of the uncancelled run's, and every committed outcome is
+//     final.
+//   * Generated tests are memoized per fault across runs (each test is a
+//     pure function of the fault given the circuit/options), so
+//     add_faults() — which re-runs the cheap phases on the grown universe
+//     and reuses every cached search — produces a result byte-identical to
+//     a from-scratch run on the union universe while paying 3-phase cost
+//     only for genuinely new, still-uncovered faults.  add_faults({}) after
+//     a cancelled run resumes it for the same reason.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "atpg/fault.hpp"
 #include "atpg/fault_sim.hpp"
 #include "sgraph/cssg.hpp"
+#include "xatpg/options.hpp"
+#include "xatpg/progress.hpp"
+#include "xatpg/types.hpp"
 
 namespace xatpg {
 
-struct AtpgOptions {
-  std::size_t k = 24;                    ///< settle bound (TCR_k)
-  VarOrder order = VarOrder::Interleaved;
-  /// Dynamic BDD reordering for the symbolic shards.  Every worker shard
-  /// (and the engine's own context) gets the same policy and reorders
-  /// independently whenever its own tables cross the trigger; results stay
-  /// byte-identical across thread counts and orders because every symbolic
-  /// query the engine consumes is canonicalized to be order-independent.
-  ReorderPolicy reorder{};
-  std::size_t random_budget = 512;       ///< vectors spent in random TPG
-  std::size_t random_walk_len = 48;      ///< restart interval (reset pulses)
-  std::uint64_t seed = 1;
-  std::size_t diff_depth = 16;           ///< differentiation BFS depth
-  std::size_t diff_node_cap = 20000;     ///< differentiation BFS nodes
-  /// Wall-clock budget per fault for the 3-phase search (the classic ATPG
-  /// backtrack limit, in time units): exceeded => fault left undetected.
-  /// NOTE: this is the one nondeterministic cap — under heavy load a search
-  /// can time out that otherwise would not.  The deterministic caps
-  /// (diff_depth / diff_node_cap) bind long before it on every shipped
-  /// benchmark; raise it when exercising the cross-thread determinism
-  /// guarantee under slow sanitizers.
-  double per_fault_seconds = 2.0;
-  FaultSimOptions sim;
-  /// Phase 1+2 enabled (ablation: false forces pure differentiation BFS
-  /// from reset for every fault).
-  bool use_activation = true;
-  /// A-priori undetectable-fault classification (§6's proposed
-  /// improvement): before searching, prove a fault redundant when its
-  /// faulted line never carries the opposite of the stuck value in *any*
-  /// state a legal test session can pass through.  Sound; skips the
-  /// 3-phase search for proven faults.
-  bool classify_undetectable = false;
-  /// Worker threads for the fault-parallel 3-phase search.  1 = run on the
-  /// engine's own symbolic context only; 0 = one worker per hardware
-  /// thread.  Outcomes and sequences are byte-identical for every value.
-  std::size_t threads = 1;
-};
-
-/// One synchronous test: input vectors applied from reset, one per test
-/// cycle.
-struct TestSequence {
-  std::vector<std::vector<bool>> vectors;
-
-  bool operator==(const TestSequence&) const = default;
-};
-
-enum class CoveredBy : std::uint8_t {
-  None,        ///< undetected (possibly redundant)
-  Random,      ///< random TPG (the paper's "rnd" column)
-  ThreePhase,  ///< 3-phase symbolic ATPG ("3-ph")
-  FaultSim,    ///< detected while simulating another fault's test ("sim")
-};
-
-struct FaultOutcome {
-  Fault fault;
-  CoveredBy covered_by = CoveredBy::None;
-  int sequence_index = -1;  ///< index into AtpgResult::sequences
-  /// Proven undetectable by the a-priori classifier (covered_by == None).
-  bool proven_redundant = false;
-
-  bool operator==(const FaultOutcome&) const = default;
-};
-
-struct AtpgStats {
-  std::size_t total_faults = 0;
-  std::size_t covered = 0;
-  std::size_t by_random = 0;
-  std::size_t by_three_phase = 0;
-  std::size_t by_fault_sim = 0;
-  std::size_t undetected = 0;
-  std::size_t proven_redundant = 0;
-  double seconds = 0;
-  double random_seconds = 0;
-  double three_phase_seconds = 0;
-
-  double coverage() const {
-    return total_faults == 0
-               ? 1.0
-               : static_cast<double>(covered) / static_cast<double>(total_faults);
-  }
-};
-
-struct AtpgResult {
-  std::vector<FaultOutcome> outcomes;
-  std::vector<TestSequence> sequences;
-  AtpgStats stats;
-};
-
 /// ATPG driver bound to one circuit + reset state.  The CSSG is computed
 /// once and shared across fault universes (run() can be called repeatedly);
-/// worker shards are likewise built once per worker slot and reused by
-/// later run() calls on the same engine.
+/// worker shards and memoized 3-phase searches are likewise reused by later
+/// run()/add_faults() calls on the same engine.
 class AtpgEngine {
  public:
+  /// Rejects degenerate options loudly: throws CheckError when
+  /// options.validate() fails (the Session facade reports the same failure
+  /// as a typed OptionError before ever reaching this constructor).
   AtpgEngine(const Netlist& netlist, const std::vector<bool>& reset_state,
              const AtpgOptions& options = {});
 
@@ -140,8 +82,24 @@ class AtpgEngine {
 
   /// Run the full flow (random TPG -> fault-parallel 3-phase ->
   /// deterministic merge with cross fault simulation) on the given fault
-  /// universe.
-  AtpgResult run(const std::vector<Fault>& faults);
+  /// universe, replacing any previous universe.  `observer` (optional)
+  /// receives the streaming events, `cancel` (optional) stops the run
+  /// cooperatively between faults — see xatpg/progress.hpp for the
+  /// contract.
+  AtpgResult run(const std::vector<Fault>& faults,
+                 RunObserver* observer = nullptr,
+                 const CancelToken* cancel = nullptr);
+
+  /// Grow the current universe by `faults` and run the flow on the union.
+  /// New faults are cross-simulated against the committed sequences before
+  /// any 3-phase search; cached searches are reused, so the result is
+  /// byte-identical to run(union) at a fraction of the cost.
+  AtpgResult add_faults(const std::vector<Fault>& faults,
+                        RunObserver* observer = nullptr,
+                        const CancelToken* cancel = nullptr);
+
+  /// The fault universe accumulated by run()/add_faults().
+  const std::vector<Fault>& universe() const { return universe_; }
 
   /// 3-phase ATPG for a single fault; returns the test sequence (from
   /// reset) or nullopt if the search space is exhausted (fault redundant or
@@ -164,6 +122,13 @@ class AtpgEngine {
     bool found = false;
     TestSequence sequence;
   };
+  struct FaultHash {
+    std::size_t operator()(const Fault& fault) const;
+  };
+  /// Per-worker progress counters published at fault granularity so the
+  /// main thread can stream per-shard BDD statistics while workers run.
+  struct ShardCounters;
+
   /// Phase 3 BFS.  Touches only shared read-only state (netlist, explicit
   /// graph) — safe from any worker.
   DiffResult differentiate(const Fault& fault, const TestSequence& prefix) const;
@@ -174,22 +139,33 @@ class AtpgEngine {
   bool provably_redundant_on(const Cssg& shard, const Fault& fault) const;
   /// A fresh worker shard: the same Cssg the constructor builds.
   std::unique_ptr<Cssg> build_shard() const;
+  /// The full deterministic flow over universe_ (shared by run/add_faults).
+  AtpgResult run_universe(RunObserver* observer, const CancelToken* cancel);
   /// Fan the 3-phase search for `todo` (fault indices) out over the worker
-  /// shards; fills `generated` slots.
+  /// shards, memoizing each completed search in generated_cache_.  Faults
+  /// skipped because `cancel` fired are left unmemoized (a later run
+  /// attempts them again).  Progress snapshots stream from the calling
+  /// thread between its own work blocks; `make_base` supplies a fresh
+  /// run-level snapshot (elapsed time, resolved counts) per emission, and
+  /// `shard_done` accumulates per-shard completed-search counts across
+  /// batches so later snapshots keep reporting them.
   void generate_parallel(const std::vector<Fault>& faults,
                          const std::vector<std::size_t>& todo,
-                         std::vector<std::optional<TestSequence>>& generated);
+                         const CancelToken* cancel, RunObserver* observer,
+                         const std::function<RunProgress()>& make_base,
+                         std::vector<std::size_t>& shard_done);
   /// Post-merge cross fault simulation of one committed sequence: 64-lane
   /// ternary screen over the remaining uncovered faults, exact confirmation
   /// of every flag, exact fallback for faults with no generated test.
   /// `sims` are the long-lived per-fault exact simulators (restart()ed per
-  /// sequence, as in the random phase).
+  /// sequence, as in the random phase).  `resolved` collects the indices
+  /// whose outcome this call finalized (for observer events).
   void cross_simulate(const std::vector<Fault>& faults,
-                      const std::vector<std::optional<TestSequence>>& generated,
                       std::vector<std::unique_ptr<FaultSimulator>>& sims,
                       std::size_t committed, const TestSequence& seq,
                       const std::vector<std::uint32_t>& path, int seq_index,
-                      AtpgResult& result) const;
+                      AtpgResult& result,
+                      std::vector<std::size_t>& resolved) const;
 
   const Netlist* netlist_;
   std::vector<bool> reset_state_;
@@ -200,6 +176,14 @@ class AtpgEngine {
   /// Lazily built per-worker shards (slot w serves pool worker w); the main
   /// thread always works on cssg_.  Reused by subsequent run() calls.
   std::vector<std::unique_ptr<Cssg>> extra_shards_;
+  /// The current fault universe (run() replaces, add_faults() extends).
+  std::vector<Fault> universe_;
+  /// Memoized 3-phase searches: presence means the search was *completed*
+  /// for that fault (value nullopt = search exhausted, fault undetected by
+  /// its own test).  Never invalidated — a generated test is a pure
+  /// function of (circuit, reset, options, fault).
+  std::unordered_map<Fault, std::optional<TestSequence>, FaultHash>
+      generated_cache_;
 };
 
 /// Tester-facing export: vectors and expected primary-output responses per

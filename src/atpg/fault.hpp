@@ -10,27 +10,9 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/parallel.hpp"
+#include "xatpg/types.hpp"  // Fault (public API type)
 
 namespace xatpg {
-
-struct Fault {
-  enum class Site : std::uint8_t {
-    GatePin,       ///< connection into fanin position `pin` of gate `gate`
-    SignalOutput,  ///< output of gate `gate` (includes primary inputs)
-  };
-  Site site = Site::GatePin;
-  SignalId gate = kNoSignal;
-  std::size_t pin = 0;
-  bool stuck_value = false;
-
-  bool operator==(const Fault&) const = default;
-
-  /// "pin c.1 s-a-0" / "out y s-a-1" style description.
-  std::string describe(const Netlist& netlist) const;
-
-  /// Injection spec for the 64-lane parallel ternary simulator.
-  LaneInjection to_injection(std::uint64_t lanes) const;
-};
 
 /// All input (gate-pin) stuck-at faults: 2 per pin.
 std::vector<Fault> input_stuck_faults(const Netlist& netlist);

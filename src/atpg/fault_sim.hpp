@@ -31,6 +31,7 @@
 
 #include "atpg/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "xatpg/options.hpp"  // FaultSimOptions (public API type)
 
 namespace xatpg {
 
@@ -40,10 +41,8 @@ enum class DetectStatus : std::uint8_t {
   GaveUp,        ///< candidate explosion or unsettled faulty trajectory
 };
 
-struct FaultSimOptions {
-  std::size_t k = 24;            ///< settle bound per test cycle
-  std::size_t candidate_cap = 256;
-};
+// FaultSimOptions (the simulator caps) is a public API type — see
+// xatpg/options.hpp.
 
 /// Exact consistent-set simulator for one fault.
 class FaultSimulator {

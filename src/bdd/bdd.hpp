@@ -51,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include "xatpg/options.hpp"  // ReorderPolicy (public API type)
+
 namespace xatpg {
 
 class BddManager;
@@ -121,21 +123,8 @@ class Bdd {
 /// Assignment value used by minterm extraction: 0, 1, or DontCare.
 enum class Tri : signed char { Zero = 0, One = 1, DontCare = -1 };
 
-/// Knobs for dynamic (Rudell-style sifting) variable reordering.
-struct ReorderPolicy {
-  /// Auto-reorder at public operation entry once the live-node count
-  /// crosses the trigger.  Explicit sift() calls work regardless.
-  bool enabled = false;
-  /// First auto-sift watermark (live nodes after GC).
-  std::size_t trigger_nodes = 1024;
-  /// A sifted block's walk aborts in a direction once the table grows past
-  /// max_growth x the best size seen for that block (transient bound; the
-  /// accepted position is never worse than the starting one).
-  double max_growth = 1.2;
-  /// After an auto-sift the next trigger is
-  /// max(trigger_nodes, size_after * trigger_growth).
-  double trigger_growth = 2.0;
-};
+// ReorderPolicy (the sifting knobs) is a public API type — see
+// xatpg/options.hpp.
 
 /// Outcome of one sifting pass (also accumulated into manager statistics).
 struct ReorderStats {

@@ -19,12 +19,9 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "xatpg/types.hpp"  // SignalId / kNoSignal (public API types)
 
 namespace xatpg {
-
-/// Signal identifier: index of the gate driving the signal.
-using SignalId = std::uint32_t;
-constexpr SignalId kNoSignal = 0xffffffffu;
 
 enum class GateType : std::uint8_t {
   Input,  ///< primary input (identity buffer driven by the environment)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sgraph/encoding.hpp"
+#include "xatpg/types.hpp"  // CssgStats (public API type)
 
 namespace xatpg {
 
@@ -46,19 +47,8 @@ struct CssgOptions {
   std::size_t max_explicit_states = 200000;
 };
 
-/// Sizes reported for Figure-2-style TCSG -> CSSG statistics.
-struct CssgStats {
-  double reachable_states = 0;         ///< TCSG states (stable + unstable)
-  double stable_states = 0;            ///< stable reachable states
-  double tcr_pairs = 0;                ///< |TCR_k|
-  double nonconfluent_pairs = 0;       ///< pruned: sibling outcome differs
-  double unstable_pairs = 0;           ///< pruned: unsettled k-step sibling
-  double cssg_edges = 0;               ///< |CSSG_k|
-  double cssg_reachable_states = 0;    ///< states reachable by valid vectors
-  std::size_t traversal_iterations = 0;
-  std::size_t tcr_steps = 0;
-  std::size_t peak_bdd_nodes = 0;
-};
+// CssgStats (the Figure-2-style statistics block) is a public API type —
+// see xatpg/types.hpp.
 
 /// Explicit (enumerated) CSSG used by random TPG and differentiation.
 struct ExplicitCssg {

@@ -28,17 +28,9 @@
 
 #include "bdd/bdd.hpp"
 #include "netlist/netlist.hpp"
+#include "xatpg/options.hpp"  // VarOrder (public API type)
 
 namespace xatpg {
-
-enum class VarOrder {
-  Interleaved,         ///< x_i, y_i, w_i adjacent per signal (default)
-  Blocked,             ///< all x, then all y, then all w
-  ReverseInterleaved,  ///< interleaved, signals in reverse netlist order
-  Sifted,              ///< interleaved start + dynamic group sifting
-};
-
-const char* var_order_name(VarOrder order);
 
 /// Owns the BddManager and the variable layout for one netlist.
 ///

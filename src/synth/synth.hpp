@@ -24,13 +24,9 @@
 #include "netlist/netlist.hpp"
 #include "stg/stg.hpp"
 #include "synth/cover.hpp"
+#include "xatpg/types.hpp"  // SynthStyle (public API type)
 
 namespace xatpg {
-
-enum class SynthStyle : std::uint8_t {
-  SpeedIndependent,  ///< one atomic gC per non-input signal
-  BoundedDelay,      ///< two-level AND-OR with combinational feedback
-};
 
 /// Implementation architecture for the SpeedIndependent style.
 enum class SiArchitecture : std::uint8_t {

@@ -1,6 +1,8 @@
 // End-to-end integration: STG specification -> synthesis -> CSSG -> ATPG ->
 // test-program replay, with every stage's output checked against the
-// previous stage's semantics.
+// previous stage's semantics.  The table-shape tests run through the
+// public xatpg::Session facade; the replay tests stay on internals (they
+// need the exact settling oracle).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -11,6 +13,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "fixtures.hpp"
 #include "sim/explicit.hpp"
+#include "xatpg/xatpg.hpp"
 
 namespace xatpg {
 namespace {
@@ -84,15 +87,19 @@ INSTANTIATE_TEST_SUITE_P(Suite, EndToEnd,
 
 TEST(EndToEndShape, Table1OutputStuckIsComplete) {
   // The headline theoretical shape on a sample of the SI suite: output
-  // stuck-at coverage is complete.
+  // stuck-at coverage is complete.  Driven through the public facade —
+  // exactly the call sequence `xatpg run --faults output` makes.
   for (const char* name : {"chu150", "ebergen", "vbe5b", "mmu", "seq4"}) {
-    const SynthResult synth = benchmark_circuit(name, SynthStyle::SpeedIndependent);
     AtpgOptions options;
     options.random_budget = 24;
     options.random_walk_len = 6;
-    AtpgEngine engine(synth.netlist, synth.reset_state, options);
-    const auto result = engine.run(output_stuck_faults(synth.netlist));
-    EXPECT_EQ(result.stats.undetected, 0u) << name;
+    auto session =
+        Session::from_benchmark(name, SynthStyle::SpeedIndependent, options);
+    ASSERT_TRUE(session.has_value()) << name << ": "
+                                     << session.error().to_string();
+    const auto result = session->run(session->output_stuck_faults());
+    ASSERT_TRUE(result.has_value()) << name;
+    EXPECT_EQ(result->stats.undetected, 0u) << name;
   }
 }
 
@@ -100,13 +107,16 @@ TEST(EndToEndShape, Table2RedundantCircuitsCollapse) {
   // The Table 2 shape: the redundant/hazard-laden trio tests far worse in
   // the bounded-delay mapping than a clean circuit does.
   const auto coverage = [](const std::string& name) {
-    const SynthResult synth = benchmark_circuit(name, SynthStyle::BoundedDelay);
     AtpgOptions options;
     options.random_budget = 24;
     options.random_walk_len = 6;
     options.per_fault_seconds = 0.5;
-    AtpgEngine engine(synth.netlist, synth.reset_state, options);
-    return engine.run(input_stuck_faults(synth.netlist)).stats.coverage();
+    auto session =
+        Session::from_benchmark(name, SynthStyle::BoundedDelay, options);
+    XATPG_CHECK(session.has_value());
+    const auto result = session->run(session->input_stuck_faults());
+    XATPG_CHECK(result.has_value());
+    return result->stats.coverage();
   };
   const double clean = coverage("ebergen");
   const double redundant = coverage("vbe6a");

@@ -152,6 +152,179 @@ TEST(ParallelEngine, SequencesDetectTheirFaultsAtFourThreads) {
   }
 }
 
+// --- cancellation ------------------------------------------------------------
+// A CancelToken fired at a fixed 3-phase commit index must (a) stop the run
+// between faults, (b) leave a deterministic partial result that is a prefix
+// of the full run — same leading sequences, every committed outcome final —
+// and (c) stay byte-identical across thread counts, because the trigger
+// event (the k-th commit in the deterministic merge) is scheduling-free.
+
+/// Fires the token when the n-th ThreePhase commit is reported.
+class CancelAtCommit : public RunObserver {
+ public:
+  CancelAtCommit(CancelToken token, std::size_t commits)
+      : token_(std::move(token)), remaining_(commits) {}
+  void on_fault_resolved(std::size_t /*index*/,
+                         const FaultOutcome& outcome) override {
+    if (outcome.covered_by == CoveredBy::ThreePhase && remaining_ > 0 &&
+        --remaining_ == 0)
+      token_.request_cancel();
+  }
+
+ private:
+  CancelToken token_;
+  std::size_t remaining_;
+};
+
+void expect_prefix_of(const AtpgResult& partial, const AtpgResult& full,
+                      const std::string& name) {
+  SCOPED_TRACE(name);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_FALSE(full.cancelled);
+  ASSERT_LT(partial.sequences.size(), full.sequences.size());
+  for (std::size_t s = 0; s < partial.sequences.size(); ++s)
+    EXPECT_EQ(partial.sequences[s], full.sequences[s]) << "sequence " << s;
+  ASSERT_EQ(partial.outcomes.size(), full.outcomes.size());
+  for (std::size_t j = 0; j < partial.outcomes.size(); ++j) {
+    if (partial.outcomes[j].covered_by != CoveredBy::None) {
+      // Committed before the cancel: final, and identical to the full run.
+      EXPECT_EQ(partial.outcomes[j], full.outcomes[j]) << "fault " << j;
+    } else {
+      // Unresolved at cancel time: the full run can only have covered it
+      // with a sequence the partial run never committed.
+      EXPECT_TRUE(full.outcomes[j].covered_by == CoveredBy::None ||
+                  full.outcomes[j].sequence_index >=
+                      static_cast<int>(partial.sequences.size()))
+          << "fault " << j;
+    }
+  }
+}
+
+TEST(Cancellation, MidMergePartialResultIsAPrefixAcrossThreads) {
+  const auto synth = benchmark_circuit("mmu", SynthStyle::BoundedDelay);
+  const auto faults = input_stuck_faults(synth.netlist);
+  std::optional<AtpgResult> base_partial;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    AtpgOptions options = determinism_options(threads);
+    AtpgEngine full_engine(synth.netlist, synth.reset_state, options);
+    const AtpgResult full = full_engine.run(faults);
+    ASSERT_GE(full.stats.by_three_phase, 3u);  // enough commits to cut short
+
+    AtpgEngine engine(synth.netlist, synth.reset_state, options);
+    CancelToken token;
+    CancelAtCommit observer(token, 2);
+    const AtpgResult partial = engine.run(faults, &observer, &token);
+    EXPECT_EQ(partial.stats.by_three_phase, 2u);
+    expect_prefix_of(partial, full, "mmu/bd threads=" + std::to_string(threads));
+
+    if (!base_partial) {
+      base_partial = partial;
+    } else {
+      expect_identical(*base_partial, partial, threads, "mmu/bd partial");
+      EXPECT_EQ(base_partial->cancelled, partial.cancelled);
+    }
+  }
+}
+
+TEST(Cancellation, TokenAlreadyFiredYieldsEmptyRun) {
+  const fixtures::Circuit c = fixtures::celem();
+  AtpgEngine engine(c.netlist, c.reset, determinism_options(2));
+  CancelToken token;
+  token.request_cancel();
+  const AtpgResult result = engine.run(input_stuck_faults(c.netlist), nullptr,
+                                       &token);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.stats.covered, 0u);
+  EXPECT_TRUE(result.sequences.empty());
+}
+
+// --- incremental runs ---------------------------------------------------------
+// add_faults() must behave as if the union universe had been run from
+// scratch: committed sequences are reused by cross-simulating the new
+// faults first, cached searches are never redone, and the merged result is
+// byte-identical — at every thread count.
+
+void check_incremental(const Netlist& netlist, const std::vector<bool>& reset,
+                       const std::vector<Fault>& faults,
+                       const std::string& name,
+                       std::size_t random_budget = 24) {
+  const std::size_t half = faults.size() / 2;
+  const std::vector<Fault> first(faults.begin(), faults.begin() + half);
+  const std::vector<Fault> rest(faults.begin() + half, faults.end());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    AtpgOptions options = determinism_options(threads);
+    options.random_budget = random_budget;
+    AtpgEngine fresh(netlist, reset, options);
+    const AtpgResult full = fresh.run(faults);
+
+    AtpgEngine grown(netlist, reset, options);
+    grown.run(first);
+    const AtpgResult incremental = grown.add_faults(rest);
+    ASSERT_EQ(grown.universe().size(), faults.size());
+    expect_identical(full, incremental, threads, name + "/incremental");
+    EXPECT_EQ(full.sequences.size(), incremental.sequences.size());
+  }
+}
+
+TEST(Incremental, MatchesFromScratchOnMmuBoundedDelay) {
+  const auto synth = benchmark_circuit("mmu", SynthStyle::BoundedDelay);
+  check_incremental(synth.netlist, synth.reset_state,
+                    input_stuck_faults(synth.netlist), "mmu/bd");
+}
+
+TEST(Incremental, MatchesFromScratchWithoutRandomPhase) {
+  // random_budget = 0 forces everything through the 3-phase merge, so the
+  // incremental run exercises the cached-commit + catch-up machinery (and
+  // vbe5b has two search-exhausted faults that must stay undetected).
+  const auto synth = benchmark_circuit("vbe5b", SynthStyle::SpeedIndependent);
+  check_incremental(synth.netlist, synth.reset_state,
+                    input_stuck_faults(synth.netlist), "vbe5b/si",
+                    /*random_budget=*/0);
+}
+
+TEST(Incremental, OutputFaultsJoinInputUniverse) {
+  // Growing with a *different* fault model mid-session must work too.
+  const fixtures::Circuit c = fixtures::pipeline2();
+  std::vector<Fault> all = input_stuck_faults(c.netlist);
+  const std::vector<Fault> extra = output_stuck_faults(c.netlist);
+  const std::size_t in_count = all.size();
+  all.insert(all.end(), extra.begin(), extra.end());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    AtpgOptions options = determinism_options(threads);
+    AtpgEngine fresh(c.netlist, c.reset, options);
+    const AtpgResult full = fresh.run(all);
+    AtpgEngine grown(c.netlist, c.reset, options);
+    grown.run(std::vector<Fault>(all.begin(), all.begin() + in_count));
+    expect_identical(full, grown.add_faults(extra), threads, "pipe2/mixed");
+  }
+}
+
+TEST(Incremental, ResumeAfterCancelReproducesFullRun) {
+  // The acceptance contract: cancel mid-run, then add_faults() on the
+  // remainder (here: an empty delta — the universe is already complete)
+  // finishes the job byte-identically to an uncancelled run, reusing every
+  // search the cancelled run already paid for.
+  const auto synth = benchmark_circuit("mmu", SynthStyle::BoundedDelay);
+  const auto faults = input_stuck_faults(synth.netlist);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    AtpgOptions options = determinism_options(threads);
+    AtpgEngine fresh(synth.netlist, synth.reset_state, options);
+    const AtpgResult full = fresh.run(faults);
+
+    AtpgEngine engine(synth.netlist, synth.reset_state, options);
+    CancelToken token;
+    CancelAtCommit observer(token, 2);
+    const AtpgResult partial = engine.run(faults, &observer, &token);
+    ASSERT_TRUE(partial.cancelled);
+    const AtpgResult resumed = engine.add_faults({});
+    EXPECT_FALSE(resumed.cancelled);
+    expect_identical(full, resumed, threads, "mmu/bd resume");
+  }
+}
+
 // --- the concurrency primitives themselves -----------------------------------
 
 TEST(ChunkedWorkQueue, DrainsEveryItemExactlyOnceAcrossThreads) {

@@ -1,0 +1,396 @@
+// xatpg — command-line front end of the library, driven exclusively through
+// the installed public API (include/xatpg; no src/ internals), which makes
+// it a living proof that the facade is complete.
+//
+//   xatpg run    --circuit <name|file.xnl> [--style si|bd]
+//                [--faults input|output|both] [--threads N] [--seed N]
+//                [--k N] [--random-budget N] [--reorder] [--classify]
+//                [--progress] [--json]
+//   xatpg cssg   --circuit ... [--json | --dot] [--out FILE]
+//   xatpg export --circuit ... [--out FILE] [run flags]
+//
+// `run --json` emits the paper's table columns (tot/cov per universe,
+// rnd/3-ph/sim, BDD node accounting, CPU time) as a single JSON object.
+// Typed errors (xatpg::Error) print to stderr and exit 1; usage errors
+// exit 2.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xatpg/xatpg.hpp"
+
+namespace {
+
+using namespace xatpg;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <command> --circuit <name|file.xnl> [flags]\n"
+      << "\n"
+      << "commands:\n"
+      << "  run     full ATPG flow (random TPG -> 3-phase -> fault sim)\n"
+      << "  cssg    CSSG abstraction statistics (--dot for graphviz)\n"
+      << "  export  generate and print the synchronous test program\n"
+      << "\n"
+      << "flags:\n"
+      << "  --circuit X        benchmark name (chu150, ebergen, fig1a, ...)\n"
+      << "                     or a .xnl netlist file path\n"
+      << "  --style si|bd      speed-independent (default) or bounded-delay\n"
+      << "  --faults F         input|output|both (run default: both;\n"
+      << "                     export default: input)\n"
+      << "  --threads N        fault-parallel workers (0 = hardware)\n"
+      << "  --seed N           random TPG seed\n"
+      << "  --k N              settle bound per test cycle\n"
+      << "  --random-budget N  vectors spent in random TPG\n"
+      << "  --reorder          dynamic BDD variable reordering (sifting)\n"
+      << "  --classify         a-priori undetectable-fault classification\n"
+      << "  --progress         stream phase/progress events to stderr\n"
+      << "  --json             machine-readable output\n"
+      << "  --dot              cssg: graphviz dump instead of statistics\n"
+      << "  --out FILE         write output to FILE instead of stdout\n";
+  return 2;
+}
+
+struct CliArgs {
+  std::string command;
+  std::string circuit;
+  SynthStyle style = SynthStyle::SpeedIndependent;
+  std::string faults;  ///< resolved after parsing: run=both, export=input
+  bool json = false;
+  bool dot = false;
+  bool progress = false;
+  std::string out;
+  AtpgOptions options;
+};
+
+std::optional<std::uint64_t> parse_u64(const std::string& text,
+                                       std::uint64_t max_value) {
+  if (text.empty() || text[0] == '-') return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    // Exact overflow guard: value*10+digit <= max_value, without wrapping
+    // even when max_value is the full 2^64-1 range (--seed).
+    if (value > (max_value - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Parses argv into `args`; returns false (after a diagnostic) on bad input.
+bool parse_args(int argc, char** argv, CliArgs& args) {
+  args.command = argv[1];
+  if (args.command != "run" && args.command != "cssg" &&
+      args.command != "export") {
+    std::cerr << "unknown command '" << args.command << "'\n";
+    return false;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    const auto count = [&](std::uint64_t max) -> std::optional<std::uint64_t> {
+      const auto text = value();
+      if (!text) return std::nullopt;
+      const auto parsed = parse_u64(*text, max);
+      if (!parsed)
+        std::cerr << "invalid " << flag << " value '" << *text << "'\n";
+      return parsed;
+    };
+    if (flag == "--circuit") {
+      const auto v = value();
+      if (!v) return false;
+      args.circuit = *v;
+    } else if (flag == "--style") {
+      const auto v = value();
+      if (!v) return false;
+      if (*v == "si") {
+        args.style = SynthStyle::SpeedIndependent;
+      } else if (*v == "bd") {
+        args.style = SynthStyle::BoundedDelay;
+      } else {
+        std::cerr << "invalid --style '" << *v << "' (want si or bd)\n";
+        return false;
+      }
+    } else if (flag == "--faults") {
+      const auto v = value();
+      if (!v) return false;
+      if (*v != "input" && *v != "output" && *v != "both") {
+        std::cerr << "invalid --faults '" << *v
+                  << "' (want input, output or both)\n";
+        return false;
+      }
+      args.faults = *v;
+    } else if (flag == "--threads") {
+      const auto v = count(AtpgOptions::kMaxThreads);
+      if (!v) return false;
+      args.options.threads = static_cast<std::size_t>(*v);
+    } else if (flag == "--seed") {
+      const auto v = count(~std::uint64_t{0});
+      if (!v) return false;
+      args.options.seed = *v;
+    } else if (flag == "--k") {
+      const auto v = count(1u << 20);
+      if (!v) return false;
+      args.options.k = static_cast<std::size_t>(*v);
+      args.options.sim.k = static_cast<std::size_t>(*v);
+    } else if (flag == "--random-budget") {
+      const auto v = count(1u << 30);
+      if (!v) return false;
+      args.options.random_budget = static_cast<std::size_t>(*v);
+    } else if (flag == "--reorder") {
+      args.options.reorder.enabled = true;
+    } else if (flag == "--classify") {
+      args.options.classify_undetectable = true;
+    } else if (flag == "--progress") {
+      args.progress = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--dot") {
+      args.dot = true;
+    } else if (flag == "--out") {
+      const auto v = value();
+      if (!v) return false;
+      args.out = *v;
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return false;
+    }
+  }
+  if (args.circuit.empty()) {
+    std::cerr << "--circuit is required\n";
+    return false;
+  }
+  if (args.faults.empty())
+    args.faults = args.command == "export" ? "input" : "both";
+  return true;
+}
+
+bool looks_like_file(const std::string& circuit) {
+  return circuit.find('/') != std::string::npos ||
+         circuit.find(".xnl") != std::string::npos;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Stderr observer for --progress: phase transitions and a coarse heartbeat.
+class StderrObserver : public RunObserver {
+ public:
+  void on_phase(RunPhase phase) override {
+    std::cerr << "[xatpg] phase: " << run_phase_name(phase) << "\n";
+  }
+  void on_fault_resolved(std::size_t index, const FaultOutcome& outcome) override {
+    std::cerr << "[xatpg] fault #" << index << " resolved: "
+              << (outcome.proven_redundant ? "proven-redundant"
+                                           : covered_by_name(outcome.covered_by))
+              << "\n";
+  }
+  void on_progress(const RunProgress& progress) override {
+    std::cerr << "[xatpg] " << run_phase_name(progress.phase) << ": "
+              << progress.faults_resolved << "/" << progress.faults_total
+              << " resolved, " << progress.sequences_committed
+              << " sequences";
+    for (const ShardBddStats& shard : progress.shards)
+      if (shard.live_nodes != 0)
+        std::cerr << " | shard" << shard.shard << " " << shard.live_nodes
+                  << " nodes";
+    std::cerr << "\n";
+  }
+};
+
+void print_universe_json(std::ostream& out, const char* key,
+                         const AtpgStats& stats) {
+  out << "  \"" << key << "\": {\"total\": " << stats.total_faults
+      << ", \"covered\": " << stats.covered << ", \"rnd\": " << stats.by_random
+      << ", \"three_phase\": " << stats.by_three_phase
+      << ", \"sim\": " << stats.by_fault_sim
+      << ", \"undetected\": " << stats.undetected
+      << ", \"proven_redundant\": " << stats.proven_redundant
+      << ", \"coverage\": " << stats.coverage() << "}";
+}
+
+void print_universe_text(std::ostream& out, const char* title,
+                         const AtpgStats& stats) {
+  out << title << ": " << stats.covered << "/" << stats.total_faults
+      << " covered (" << 100.0 * stats.coverage() << "%)  rnd " << stats.by_random
+      << "  3-ph " << stats.by_three_phase << "  sim " << stats.by_fault_sim;
+  if (stats.proven_redundant != 0)
+    out << "  redundant " << stats.proven_redundant;
+  out << "\n";
+}
+
+int fail(const Error& error) {
+  std::cerr << "xatpg: " << error.to_string() << "\n";
+  return 1;
+}
+
+int cmd_run(Session& session, const CliArgs& args, std::ostream& out) {
+  StderrObserver observer;
+  RunObserver* obs = args.progress ? &observer : nullptr;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<AtpgResult> out_result, in_result;
+  if (args.faults == "output" || args.faults == "both") {
+    auto r = session.run(session.output_stuck_faults(), obs);
+    if (!r) return fail(r.error());
+    out_result = std::move(r.value());
+  }
+  if (args.faults == "input" || args.faults == "both") {
+    auto r = session.run(session.input_stuck_faults(), obs);
+    if (!r) return fail(r.error());
+    in_result = std::move(r.value());
+  }
+  const double cpu_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  const ShardBddStats bdd = session.bdd_stats();
+
+  if (args.json) {
+    out << "{\n  \"circuit\": \"" << json_escape(session.circuit_name())
+        << "\",\n  \"style\": \""
+        << (args.style == SynthStyle::SpeedIndependent ? "si" : "bd")
+        << "\",\n  \"signals\": " << session.num_signals()
+        << ",\n  \"inputs\": " << session.num_inputs()
+        << ",\n  \"outputs\": " << session.num_outputs()
+        << ",\n  \"pins\": " << session.num_pins() << ",\n";
+    if (out_result) {
+      print_universe_json(out, "output_stuck", out_result->stats);
+      out << ",\n";
+    }
+    if (in_result) {
+      print_universe_json(out, "input_stuck", in_result->stats);
+      out << ",\n";
+    }
+    out << "  \"sequences\": "
+        << (in_result   ? in_result->sequences.size()
+            : out_result ? out_result->sequences.size()
+                         : 0)
+        << ",\n  \"cancelled\": "
+        << (((in_result && in_result->cancelled) ||
+             (out_result && out_result->cancelled))
+                ? "true"
+                : "false")
+        << ",\n  \"bdd\": {\"peak_nodes\": " << bdd.peak_nodes
+        << ", \"live_nodes\": " << bdd.live_nodes
+        << ", \"reorders\": " << bdd.reorders << "}"
+        << ",\n  \"cpu_ms\": " << cpu_ms << "\n}\n";
+  } else {
+    out << "circuit '" << session.circuit_name() << "': "
+        << session.num_inputs() << " inputs, " << session.num_outputs()
+        << " outputs, " << session.num_signals() << " signals, "
+        << session.num_pins() << " pins\n";
+    if (out_result) print_universe_text(out, "output stuck-at", out_result->stats);
+    if (in_result) print_universe_text(out, "input stuck-at", in_result->stats);
+    out << "BDD: peak " << bdd.peak_nodes << " nodes, live " << bdd.live_nodes
+        << ", sift passes " << bdd.reorders << "\n";
+    out << "CPU: " << cpu_ms << " ms\n";
+  }
+  return 0;
+}
+
+int cmd_cssg(Session& session, const CliArgs& args, std::ostream& out) {
+  if (args.dot) {
+    out << session.cssg_dot();
+    return 0;
+  }
+  const CssgStats& stats = session.cssg_stats();
+  if (args.json) {
+    out << "{\n  \"circuit\": \"" << json_escape(session.circuit_name())
+        << "\",\n  \"reachable_states\": " << stats.reachable_states
+        << ",\n  \"stable_states\": " << stats.stable_states
+        << ",\n  \"tcr_pairs\": " << stats.tcr_pairs
+        << ",\n  \"nonconfluent_pairs\": " << stats.nonconfluent_pairs
+        << ",\n  \"unstable_pairs\": " << stats.unstable_pairs
+        << ",\n  \"cssg_edges\": " << stats.cssg_edges
+        << ",\n  \"cssg_reachable_states\": " << stats.cssg_reachable_states
+        << ",\n  \"peak_bdd_nodes\": " << stats.peak_bdd_nodes << "\n}\n";
+  } else {
+    out << "circuit '" << session.circuit_name() << "'\n"
+        << "TCSG reachable states: " << stats.reachable_states << " ("
+        << stats.stable_states << " stable)\n"
+        << "TCR_k pairs:           " << stats.tcr_pairs << "\n"
+        << "pruned non-confluent:  " << stats.nonconfluent_pairs << "\n"
+        << "pruned oscillating:    " << stats.unstable_pairs << "\n"
+        << "CSSG edges:            " << stats.cssg_edges << "\n"
+        << "CSSG reachable states: " << stats.cssg_reachable_states << "\n"
+        << "peak BDD nodes:        " << stats.peak_bdd_nodes << "\n";
+  }
+  return 0;
+}
+
+int cmd_export(Session& session, const CliArgs& args, std::ostream& out) {
+  // --faults selects the exported universe; "both" concatenates the input
+  // and output models into one run (default: input, the paper's program).
+  std::vector<Fault> universe;
+  if (args.faults == "input" || args.faults == "both")
+    universe = session.input_stuck_faults();
+  if (args.faults == "output" || args.faults == "both") {
+    const auto output = session.output_stuck_faults();
+    universe.insert(universe.end(), output.begin(), output.end());
+  }
+  StderrObserver observer;
+  auto result = session.run(universe, args.progress ? &observer : nullptr);
+  if (!result) return fail(result.error());
+  const auto program = session.test_program(result.value());
+  if (!program) return fail(program.error());
+  out << program.value();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  CliArgs args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  Expected<Session> session =
+      looks_like_file(args.circuit)
+          ? Session::from_xnl_file(args.circuit, args.options)
+          : Session::from_benchmark(args.circuit, args.style, args.options);
+  if (!session) return fail(session.error());
+
+  std::ofstream file;
+  if (!args.out.empty()) {
+    file.open(args.out);
+    if (!file)
+      return fail(Error{ErrorCode::ResourceError,
+                        "cannot open '" + args.out + "' for writing"});
+  }
+  std::ostream& out = args.out.empty() ? std::cout : file;
+
+  if (args.command == "run") return cmd_run(*session, args, out);
+  if (args.command == "cssg") return cmd_cssg(*session, args, out);
+  return cmd_export(*session, args, out);
+}
