@@ -80,6 +80,20 @@ struct ShardBddStats {
   std::size_t peak_nodes = 0;   ///< allocated-node watermark
   std::size_t reorders = 0;     ///< sifting passes performed
   std::size_t faults_done = 0;  ///< 3-phase searches completed on this shard
+  std::size_t cache_lookups = 0;  ///< computed-cache probes (cumulative)
+  std::size_t cache_hits = 0;     ///< probes answered from the cache
+  /// Unique-table load factor (chained entries / buckets, in [0, 2];
+  /// subtables double at 2).
+  double unique_load = 0;
+
+  /// Fraction of computed-cache probes answered from the cache (0 when the
+  /// shard has not probed yet).
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
 };
 
 /// Periodic progress snapshot, emitted from the run's calling thread.

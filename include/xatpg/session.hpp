@@ -61,6 +61,17 @@ class Session {
   static Expected<Session> from_xnl_file(const std::string& path,
                                          const AtpgOptions& options = {});
 
+  /// Parse a circuit from ISCAS-style .bench text (INPUT/OUTPUT/assignment
+  /// lines).  DFF is rejected with ParseError — this library models
+  /// asynchronous (clockless) logic; combinational .bench circuits settle
+  /// and test like any other netlist.
+  static Expected<Session> from_bench(const std::string& text,
+                                      const AtpgOptions& options = {});
+
+  /// Like from_bench, reading the text from a file.
+  static Expected<Session> from_bench_file(const std::string& path,
+                                           const AtpgOptions& options = {});
+
   /// Synthesize one of the named benchmark reconstructions (Table 1/2
   /// suites, fig1a/fig1b).  Unknown names yield OptionError; a failed
   /// synthesis yields SynthError.
@@ -138,9 +149,18 @@ class Session {
   Expected<std::string> test_program(const AtpgResult& result) const;
 
   /// BDD accounting of the engine's own symbolic context (shard 0):
-  /// allocated-node watermark, live nodes after a garbage collection, and
-  /// sifting passes.
+  /// allocated-node watermark, live nodes after a garbage collection,
+  /// sifting passes, computed-cache hit counters, and the unique-table load
+  /// factor.
   ShardBddStats bdd_stats() const;
+
+  /// Run one dynamic-reordering (sifting) pass on the engine's own symbolic
+  /// context now, regardless of the session's ReorderPolicy, and return the
+  /// live node count after the pass.  Results of past and future runs are
+  /// unaffected (every engine query is canonicalized to be order-
+  /// independent); only node counts and timing change.  The perf harness
+  /// records this as the post-sift size.
+  std::size_t sift_now();
 
  private:
   struct Impl;

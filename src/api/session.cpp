@@ -89,23 +89,49 @@ Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
 Session::~Session() = default;
 
-Expected<Session> Session::from_xnl(const std::string& text,
-                                    const AtpgOptions& options) {
-  auto impl = std::make_unique<Impl>();
-  impl->options = options;
+namespace {
+
+/// Shared front of the text factories: parse with `parse` (which throws
+/// CheckError on malformed input) and settle the all-false reset state.
+Expected<void> parse_and_settle(Netlist (*parse)(const std::string&),
+                                const std::string& text, Netlist& netlist,
+                                std::vector<bool>& reset) {
   try {
-    impl->netlist = parse_xnl_string(text);
+    netlist = parse(text);
   } catch (const CheckError& e) {
     return Error{ErrorCode::ParseError, e.what()};
   } catch (const std::bad_alloc&) {
     return Error{ErrorCode::ResourceError, "out of memory parsing the circuit"};
   }
-  impl->reset.assign(impl->netlist.num_signals(), false);
-  if (!settle_to_stable(impl->netlist, impl->reset))
+  reset.assign(netlist.num_signals(), false);
+  if (!settle_to_stable(netlist, reset))
     return Error{ErrorCode::ResourceError,
-                 "circuit '" + impl->netlist.name() +
+                 "circuit '" + netlist.name() +
                      "' does not settle to a stable state from the all-false "
                      "assignment; no test-mode reset state exists"};
+  return {};
+}
+
+Expected<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return Error{ErrorCode::ResourceError,
+                 "cannot open '" + path + "' for reading"};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+Expected<Session> Session::from_xnl(const std::string& text,
+                                    const AtpgOptions& options) {
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  if (const auto parsed = parse_and_settle(&parse_xnl_string, text,
+                                           impl->netlist, impl->reset);
+      !parsed)
+    return parsed.error();
   if (const auto built = build_engine(impl->netlist, impl->reset, impl->options, impl->engine); !built)
     return built.error();
   return Session(std::move(impl));
@@ -113,13 +139,29 @@ Expected<Session> Session::from_xnl(const std::string& text,
 
 Expected<Session> Session::from_xnl_file(const std::string& path,
                                          const AtpgOptions& options) {
-  std::ifstream in(path);
-  if (!in)
-    return Error{ErrorCode::ResourceError,
-                 "cannot open '" + path + "' for reading"};
-  std::ostringstream text;
-  text << in.rdbuf();
-  return from_xnl(text.str(), options);
+  const Expected<std::string> text = slurp(path);
+  if (!text) return text.error();
+  return from_xnl(text.value(), options);
+}
+
+Expected<Session> Session::from_bench(const std::string& text,
+                                      const AtpgOptions& options) {
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  if (const auto parsed = parse_and_settle(&parse_bench_string, text,
+                                           impl->netlist, impl->reset);
+      !parsed)
+    return parsed.error();
+  if (const auto built = build_engine(impl->netlist, impl->reset, impl->options, impl->engine); !built)
+    return built.error();
+  return Session(std::move(impl));
+}
+
+Expected<Session> Session::from_bench_file(const std::string& path,
+                                           const AtpgOptions& options) {
+  const Expected<std::string> text = slurp(path);
+  if (!text) return text.error();
+  return from_bench(text.value(), options);
 }
 
 Expected<Session> Session::from_benchmark(const std::string& name,
@@ -244,7 +286,14 @@ ShardBddStats Session::bdd_stats() const {
   mgr.collect_garbage();
   stats.live_nodes = mgr.allocated_nodes();
   stats.reorders = mgr.reorder_count();
+  stats.cache_lookups = mgr.cache_lookups();
+  stats.cache_hits = mgr.cache_hits();
+  stats.unique_load = mgr.unique_load();
   return stats;
+}
+
+std::size_t Session::sift_now() {
+  return impl_->engine->cssg().encoding().sift_now().size_after;
 }
 
 }  // namespace xatpg

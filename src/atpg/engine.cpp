@@ -1,6 +1,7 @@
 #include "atpg/engine.hpp"
 
 #include <atomic>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <ostream>
@@ -50,7 +51,46 @@ struct AtpgEngine::ShardCounters {
   std::atomic<std::size_t> peak{0};
   std::atomic<std::size_t> reorders{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> cache_lookups{0};
+  std::atomic<std::size_t> cache_hits{0};
+  /// Unique-table load factor, published as its raw bit pattern so the
+  /// counter stays a lock-free word on every platform.
+  std::atomic<std::uint64_t> unique_load_bits{0};
 };
+
+namespace {
+
+/// Snapshot one manager's BDD accounting into the public stats struct —
+/// only safe on the thread that owns the manager (the worker publishing its
+/// own shard, or the main thread reading its own context / idle shards).
+ShardBddStats snapshot_shard(std::size_t shard, const BddManager& mgr,
+                             std::size_t faults_done) {
+  ShardBddStats stats;
+  stats.shard = shard;
+  stats.live_nodes = mgr.allocated_nodes();
+  stats.peak_nodes = mgr.peak_nodes();
+  stats.reorders = mgr.reorder_count();
+  stats.faults_done = faults_done;
+  stats.cache_lookups = mgr.cache_lookups();
+  stats.cache_hits = mgr.cache_hits();
+  stats.unique_load = mgr.unique_load();
+  return stats;
+}
+
+std::uint64_t double_to_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+double bits_to_double(std::uint64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace
 
 AtpgEngine::AtpgEngine(const Netlist& netlist,
                        const std::vector<bool>& reset_state,
@@ -286,6 +326,13 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
                                        std::memory_order_relaxed);
                 counters[w].reorders.store(mgr.reorder_count(),
                                            std::memory_order_relaxed);
+                counters[w].cache_lookups.store(mgr.cache_lookups(),
+                                                std::memory_order_relaxed);
+                counters[w].cache_hits.store(mgr.cache_hits(),
+                                             std::memory_order_relaxed);
+                counters[w].unique_load_bits.store(
+                    double_to_bits(mgr.unique_load()),
+                    std::memory_order_relaxed);
                 counters[w].done.fetch_add(1, std::memory_order_relaxed);
               }
             }
@@ -308,19 +355,29 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
           }
           if (observer != nullptr) {
             RunProgress progress = make_base();
-            const BddManager& own = cssg_->encoding().mgr();
-            progress.shards.push_back(ShardBddStats{
-                0, own.allocated_nodes(), own.peak_nodes(),
-                own.reorder_count(),
+            progress.shards.push_back(snapshot_shard(
+                0, cssg_->encoding().mgr(),
                 shard_done[0] +
-                    counters[0].done.load(std::memory_order_relaxed)});
+                    counters[0].done.load(std::memory_order_relaxed)));
             for (std::size_t w = 1; w < workers; ++w) {
-              progress.shards.push_back(ShardBddStats{
-                  w, counters[w].live.load(std::memory_order_relaxed),
-                  counters[w].peak.load(std::memory_order_relaxed),
-                  counters[w].reorders.load(std::memory_order_relaxed),
+              ShardBddStats stats;
+              stats.shard = w;
+              stats.live_nodes =
+                  counters[w].live.load(std::memory_order_relaxed);
+              stats.peak_nodes =
+                  counters[w].peak.load(std::memory_order_relaxed);
+              stats.reorders =
+                  counters[w].reorders.load(std::memory_order_relaxed);
+              stats.faults_done =
                   shard_done[w] +
-                      counters[w].done.load(std::memory_order_relaxed)});
+                  counters[w].done.load(std::memory_order_relaxed);
+              stats.cache_lookups =
+                  counters[w].cache_lookups.load(std::memory_order_relaxed);
+              stats.cache_hits =
+                  counters[w].cache_hits.load(std::memory_order_relaxed);
+              stats.unique_load = bits_to_double(
+                  counters[w].unique_load_bits.load(std::memory_order_relaxed));
+              progress.shards.push_back(stats);
             }
             observer->on_progress(progress);
           }
@@ -471,17 +528,12 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
     const auto done_of = [&](std::size_t w) {
       return w < shard_done.size() ? shard_done[w] : std::size_t{0};
     };
-    const BddManager& own = cssg_->encoding().mgr();
-    progress.shards.push_back(ShardBddStats{0, own.allocated_nodes(),
-                                            own.peak_nodes(),
-                                            own.reorder_count(), done_of(0)});
+    progress.shards.push_back(
+        snapshot_shard(0, cssg_->encoding().mgr(), done_of(0)));
     for (std::size_t w = 0; w < extra_shards_.size(); ++w) {
       if (!extra_shards_[w]) continue;
-      const BddManager& mgr = extra_shards_[w]->encoding().mgr();
-      progress.shards.push_back(ShardBddStats{w + 1, mgr.allocated_nodes(),
-                                              mgr.peak_nodes(),
-                                              mgr.reorder_count(),
-                                              done_of(w + 1)});
+      progress.shards.push_back(snapshot_shard(
+          w + 1, extra_shards_[w]->encoding().mgr(), done_of(w + 1)));
     }
     observer->on_progress(progress);
   };

@@ -2,14 +2,24 @@
 // (reachability, TCR_k composition, CSSG pruning, 3-phase ATPG).
 //
 // Design notes:
-//  * Reduced, ordered BDDs without complement edges (simplicity over the
-//    ~2x sharing win; circuits in this domain are small controllers).
+//  * Reduced, ordered BDDs WITH complemented (attributed) edges: an edge is
+//    a 32-bit word `(node_index << 1) | complement_bit`, there is a single
+//    terminal node (index 0, the constant TRUE), and the constant FALSE is
+//    the complemented edge to it.  Canonical form: a node's THEN (high)
+//    edge is never complemented — make_node() restores this by pushing the
+//    complement onto the incoming edge, so equal functions always share one
+//    node and `f == g` stays a single word compare.  Negation is a bit flip
+//    (`operator!` allocates no nodes and never recurses), self-dual-heavy
+//    functions share the nodes of their complements, and the computed cache
+//    serves f and !f from one entry (the ITE core normalizes the complement
+//    onto the result).
 //  * Nodes live in a grow-only arena with a free list; external references
 //    are RAII `Bdd` handles registered in an intrusive list, enabling
 //    mark-and-sweep garbage collection between top-level operations.
 //  * The computed cache is a direct-mapped hash cache keyed by
 //    (operation, operands); permutations get a per-permutation id so
-//    distinct variable maps never alias cache entries.
+//    distinct variable maps never alias cache entries.  Hit/lookup counters
+//    feed the perf harness (src/perf) and the per-shard progress stats.
 //  * Variable order is DYNAMIC: a level<->variable indirection separates a
 //    variable's identity (the `var` stored in nodes, stable for the life of
 //    the manager) from its position in the order (its level).  A fresh
@@ -71,7 +81,14 @@ class Bdd {
   /// True if this handle refers to a node (even the constant nodes).
   bool valid() const { return mgr_ != nullptr; }
   BddManager* manager() const { return mgr_; }
+  /// The raw edge value: (node index << 1) | complement bit.  Stable across
+  /// garbage collection and dynamic reordering; meaningful only to the
+  /// owning manager.
   std::uint32_t index() const { return idx_; }
+  /// True if this handle travels through a complemented edge (the node it
+  /// references stores !f).  Purely representational — two handles are equal
+  /// iff edge AND complement agree, which is exactly function equality.
+  bool complemented() const { return (idx_ & 1u) != 0; }
 
   bool is_false() const;
   bool is_true() const;
@@ -81,12 +98,14 @@ class Bdd {
   /// reordering "top" means highest level (closest to the root), which is
   /// not necessarily the smallest variable index.
   std::uint32_t top_var() const;
-  /// Low (var=0) cofactor child; precondition: !is_const().
+  /// Low (var=0) cofactor; precondition: !is_const().  The handle's
+  /// complement bit is folded in, so f == ite(top_var, high, low) always.
   Bdd low() const;
-  /// High (var=1) cofactor child; precondition: !is_const().
+  /// High (var=1) cofactor; precondition: !is_const().
   Bdd high() const;
 
-  // Boolean combinators (delegate to the manager).
+  // Boolean combinators (delegate to the manager; operator! is a local bit
+  // flip and allocates nothing).
   Bdd operator&(const Bdd& rhs) const;
   Bdd operator|(const Bdd& rhs) const;
   Bdd operator^(const Bdd& rhs) const;
@@ -104,7 +123,9 @@ class Bdd {
   /// f <= g in the implication order (f -> g is a tautology).
   bool implies(const Bdd& rhs) const;
 
-  /// Number of distinct nodes in this BDD (including terminals).
+  /// Number of distinct nodes in this BDD (including the terminal; a node
+  /// shared between f and parts of !f counts once — complement edges are
+  /// exactly this sharing).
   std::size_t node_count() const;
 
  private:
@@ -149,11 +170,12 @@ class BddManager {
   std::uint32_t new_var();
   std::uint32_t num_vars() const { return num_vars_; }
 
-  Bdd bdd_false() { return Bdd(this, 0); }
-  Bdd bdd_true() { return Bdd(this, 1); }
+  Bdd bdd_false() { return Bdd(this, kFalseEdge); }
+  Bdd bdd_true() { return Bdd(this, kTrueEdge); }
   /// Literal x_v (positive) — precondition: v < num_vars().
   Bdd var(std::uint32_t v);
-  /// Literal !x_v (negative).
+  /// Literal !x_v (negative) — the complemented edge to the same node; never
+  /// allocates.
   Bdd nvar(std::uint32_t v);
 
   // --- dynamic variable order ----------------------------------------------
@@ -208,7 +230,9 @@ class BddManager {
   /// Existential quantification of all variables in `cube` (a positive
   /// product of literals).
   Bdd exists(const Bdd& f, const Bdd& cube);
-  /// Universal quantification.
+  /// Universal quantification.  With complement edges this is literally
+  /// !exists(!f, cube) — one quantifier core serves both, and forall shares
+  /// the exists cache through the complement.
   Bdd forall(const Bdd& f, const Bdd& cube);
   /// Fused relational product:  ∃ cube . f ∧ g  — the inner loop of every
   /// image computation in src/sgraph.
@@ -273,23 +297,70 @@ class BddManager {
   std::size_t gc_count() const { return gc_count_; }
 
   /// Allocated-node watermark that triggers a collection at the next public
-  /// operation entry.  Exposed so stress tests can force a GC at every op
-  /// entry (threshold 0 never doubles back up) and validate the "GC only at
-  /// op entry" invariant the recursive cores rely on.
+  /// operation entry.  By default the watermark is ADAPTIVE: after each
+  /// collection it re-arms at max(4096, 2x the surviving nodes), so the
+  /// garbage fraction — and with it the peak-allocated watermark — stays
+  /// bounded by a constant factor of the live size instead of a fixed
+  /// 2^18-node cliff that image fixpoints on large circuits never reach.
   std::size_t gc_threshold() const { return gc_threshold_; }
-  void set_gc_threshold(std::size_t threshold) { gc_threshold_ = threshold; }
+  /// Pin the watermark and disable the adaptive policy.  Exposed so stress
+  /// tests can force a GC at every op entry (threshold 0 stays 0) and
+  /// validate the "GC only at op entry" invariant the recursive cores rely
+  /// on.
+  void set_gc_threshold(std::size_t threshold) {
+    gc_threshold_ = threshold;
+    gc_adaptive_ = false;
+  }
 
   /// Peak allocated node count observed (statistic).
   std::size_t peak_nodes() const { return peak_nodes_; }
 
+  // --- cache / table statistics --------------------------------------------
+  // Fed to the perf harness (src/perf), the per-shard progress snapshots
+  // (ShardBddStats) and the CLI JSON records.  Counters are cumulative over
+  // the manager's lifetime; rates are computed by the consumer so two
+  // snapshots can be diffed.
+
+  /// Computed-cache probes since construction.
+  std::size_t cache_lookups() const { return cache_lookups_; }
+  /// Probes that returned a cached result.
+  std::size_t cache_hits() const { return cache_hits_; }
+  /// Chained unique-table entries (live + not-yet-swept garbage) divided by
+  /// the total bucket count — the classic load factor.  Subtables double at
+  /// load 2, so this stays in [0, 2] and a value near 2 means the table is
+  /// about to grow.
+  double unique_load() const;
+
+  /// Walk every unique subtable and XATPG_CHECK the canonical-form
+  /// invariants the complement-edge kernel maintains for every
+  /// table-resident node (live or not-yet-swept): the THEN edge is never
+  /// complemented, lo != hi, the node is labelled with its subtable's
+  /// variable, and both children live at strictly lower levels.  Returns the
+  /// number of nodes checked.  Test/debug hook — O(allocated nodes).
+  std::size_t validate_canonical() const;
+
  private:
   friend class Bdd;
 
+  // --- edges ---------------------------------------------------------------
+  // An edge addresses a node and carries the complement attribute in bit 0.
+  // The sole terminal node has index 0; TRUE is the plain edge to it, FALSE
+  // the complemented one.
+  static constexpr std::uint32_t kTrueEdge = 0;
+  static constexpr std::uint32_t kFalseEdge = 1;
+  static std::uint32_t edge_node(std::uint32_t e) { return e >> 1; }
+  static bool edge_comp(std::uint32_t e) { return (e & 1u) != 0; }
+  static std::uint32_t edge_not(std::uint32_t e) { return e ^ 1u; }
+  static std::uint32_t edge_regular(std::uint32_t e) { return e & ~1u; }
+  static std::uint32_t make_edge(std::uint32_t node, bool comp) {
+    return (node << 1) | static_cast<std::uint32_t>(comp);
+  }
+
   struct Node {
-    std::uint32_t var;   // variable index; kVarTerminal for constants
-    std::uint32_t lo;    // low child
-    std::uint32_t hi;    // high child
-    std::uint32_t next;  // unique-subtable chain / free-list link
+    std::uint32_t var;   // variable index; kVarTerminal for the terminal
+    std::uint32_t lo;    // low-cofactor EDGE (may be complemented)
+    std::uint32_t hi;    // high-cofactor EDGE (never complemented)
+    std::uint32_t next;  // unique-subtable chain / free-list link (node idx)
   };
   /// Per-variable unique subtable.  Through the level<->var indirection this
   /// doubles as the per-LEVEL subtable, which is what makes an
@@ -304,14 +375,24 @@ class BddManager {
   static constexpr std::uint32_t kNoGroup = 0xffffffffu;
   static constexpr std::uint32_t kLevelTerminal = 0xffffffffu;
 
-  /// Level of the node's top variable; terminals sort below everything.
+  /// Level of the node's top variable; the terminal sorts below everything.
   std::uint32_t level_of_node(std::uint32_t n) const {
     return nodes_[n].var == kVarTerminal ? kLevelTerminal
                                          : var_to_level_[nodes_[n].var];
   }
+  /// Level of the edge's target node.
+  std::uint32_t level_of_edge(std::uint32_t e) const {
+    return level_of_node(edge_node(e));
+  }
 
+  /// Canonicalizing node constructor over EDGES: applies the reduction rule
+  /// (lo == hi) and restores the no-complemented-THEN-edge invariant by
+  /// complementing both children and the returned edge when hi arrives
+  /// complemented.
   std::uint32_t make_node(std::uint32_t var, std::uint32_t lo,
                           std::uint32_t hi);
+  /// Hash-consing lookup; `hi` is guaranteed uncomplemented by make_node.
+  /// Returns the (uncomplemented) edge to the node.
   std::uint32_t unique_lookup(std::uint32_t var, std::uint32_t lo,
                               std::uint32_t hi);
   void subtable_insert(std::uint32_t var, std::uint32_t n);
@@ -320,11 +401,10 @@ class BddManager {
   void maybe_gc();
   void maybe_reorder();
 
-  // Recursive cores (raw indices; safe because GC/reordering only run at op
+  // Recursive cores (raw edges; safe because GC/reordering only run at op
   // entry).
   std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
-  std::uint32_t not_rec(std::uint32_t f);
-  std::uint32_t quant_rec(std::uint32_t f, std::uint32_t cube, bool universal);
+  std::uint32_t exists_rec(std::uint32_t f, std::uint32_t cube);
   std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
                                std::uint32_t cube);
   std::uint32_t permute_rec(std::uint32_t f, std::uint32_t perm_id,
@@ -332,7 +412,7 @@ class BddManager {
   std::uint32_t compose_rec(std::uint32_t f, std::uint32_t v, std::uint32_t g);
   std::uint32_t cofactor_rec(std::uint32_t f, std::uint32_t v, bool phase);
 
-  void mark(std::uint32_t idx, std::vector<bool>& marked) const;
+  void mark(std::uint32_t edge, std::vector<bool>& marked) const;
   /// Mark-and-sweep without touching gc_count_ (shared by collect_garbage
   /// and the sifting size measurements).
   std::size_t sweep_dead();
@@ -358,7 +438,7 @@ class BddManager {
 
   // --- computed cache -----------------------------------------------------
   enum class Op : std::uint64_t {
-    Ite = 1, Not, Exists, Forall, AndExists, Permute, Compose0, Cofactor,
+    Ite = 1, Exists, AndExists, Permute, Compose0, Cofactor,
   };
   struct CacheEntry {
     std::uint64_t key_hi = 0;
@@ -371,6 +451,18 @@ class BddManager {
   void cache_insert(Op op, std::uint64_t a, std::uint64_t b, std::uint64_t c,
                     std::uint32_t result);
   void cache_clear();
+  /// Invalidate only the entries that reference a dead (about-to-be-recycled)
+  /// node; everything else survives a collection.  Sound because an entry
+  /// maps operand FUNCTIONS to a result function, node indices keep their
+  /// function across both GC (live ones) and in-place reordering — only
+  /// index reuse from the free list could alias, and that is exactly what
+  /// the dead-operand scrub rules out.
+  void cache_scrub_dead(const std::vector<bool>& marked);
+  /// Keep the direct-mapped cache sized to the node population (entries >=
+  /// allocated nodes, capped): a fixed-size cache thrashes on 1000-variable
+  /// circuits and recomputes subproblems into fresh garbage nodes.  Doubles
+  /// by rehashing the stored keys, so it can run at any operation entry.
+  void maybe_grow_cache();
 
   // --- data ----------------------------------------------------------------
   std::vector<Node> nodes_;
@@ -378,7 +470,7 @@ class BddManager {
   std::uint32_t free_head_ = kNil;      // free list through Node::next
   std::size_t free_count_ = 0;
   std::uint32_t num_vars_ = 0;
-  std::vector<std::uint32_t> var_nodes_;  // cached single-literal nodes
+  std::vector<std::uint32_t> var_nodes_;  // cached positive-literal EDGES
 
   std::vector<std::uint32_t> var_to_level_;
   std::vector<std::uint32_t> level_to_var_;
@@ -386,9 +478,13 @@ class BddManager {
 
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_ = 0;
+  mutable std::size_t cache_lookups_ = 0;
+  mutable std::size_t cache_hits_ = 0;
 
   Bdd* registry_head_ = nullptr;  // GC roots: live external handles
-  std::size_t gc_threshold_ = 1u << 18;
+  static constexpr std::size_t kGcFloor = 1u << 12;
+  std::size_t gc_threshold_ = kGcFloor;
+  bool gc_adaptive_ = true;  // cleared by set_gc_threshold (pinned mode)
   std::size_t gc_count_ = 0;
   std::size_t peak_nodes_ = 0;
   std::uint32_t next_perm_id_ = 0;

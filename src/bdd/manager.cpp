@@ -2,6 +2,13 @@
 // registry, garbage collection, the computed cache, and the level<->variable
 // indirection the dynamic-reordering machinery (reorder.cpp) permutes.  The
 // recursive operation cores live in ops.cpp.
+//
+// Complement-edge invariants maintained here (see bdd.hpp for the design):
+//  * node index 0 is the single terminal; edges 0/1 are TRUE/FALSE;
+//  * make_node() never stores a complemented THEN edge — it pushes the
+//    complement onto the returned edge instead;
+//  * the unique subtables key on the (lo, hi) EDGE pair, so hash-consing
+//    identifies functions, not just node shapes.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -89,22 +96,28 @@ void Bdd::detach() {
   reg_prev_ = reg_next_ = nullptr;
 }
 
-bool Bdd::is_false() const { return mgr_ != nullptr && idx_ == 0; }
-bool Bdd::is_true() const { return mgr_ != nullptr && idx_ == 1; }
+bool Bdd::is_false() const {
+  return mgr_ != nullptr && idx_ == BddManager::kFalseEdge;
+}
+bool Bdd::is_true() const {
+  return mgr_ != nullptr && idx_ == BddManager::kTrueEdge;
+}
 
 std::uint32_t Bdd::top_var() const {
   XATPG_CHECK(valid() && !is_const());
-  return mgr_->nodes_[idx_].var;
+  return mgr_->nodes_[BddManager::edge_node(idx_)].var;
 }
 
 Bdd Bdd::low() const {
   XATPG_CHECK(valid() && !is_const());
-  return Bdd(mgr_, mgr_->nodes_[idx_].lo);
+  const BddManager::Node& n = mgr_->nodes_[BddManager::edge_node(idx_)];
+  return Bdd(mgr_, n.lo ^ (idx_ & 1u));
 }
 
 Bdd Bdd::high() const {
   XATPG_CHECK(valid() && !is_const());
-  return Bdd(mgr_, mgr_->nodes_[idx_].hi);
+  const BddManager::Node& n = mgr_->nodes_[BddManager::edge_node(idx_)];
+  return Bdd(mgr_, n.hi ^ (idx_ & 1u));
 }
 
 // A default-constructed handle has mgr_ == nullptr; combinators used to
@@ -125,7 +138,9 @@ Bdd Bdd::operator^(const Bdd& rhs) const {
 }
 Bdd Bdd::operator!() const {
   XATPG_CHECK_MSG(valid(), "operator! on an invalid (default-constructed) Bdd");
-  return mgr_->apply_not(*this);
+  // The whole point of complement edges: negation is a bit flip on the edge
+  // — no manager entry, no GC point, no allocation.
+  return Bdd(mgr_, idx_ ^ 1u);
 }
 Bdd& Bdd::operator&=(const Bdd& rhs) { return *this = *this & rhs; }
 Bdd& Bdd::operator|=(const Bdd& rhs) { return *this = *this | rhs; }
@@ -140,7 +155,7 @@ bool Bdd::implies(const Bdd& rhs) const {
 
 std::size_t Bdd::node_count() const {
   if (!valid()) return 0;
-  std::vector<std::uint32_t> stack{idx_};
+  std::vector<std::uint32_t> stack{BddManager::edge_node(idx_)};
   std::vector<bool> seen(mgr_->nodes_.size(), false);
   std::size_t count = 0;
   while (!stack.empty()) {
@@ -150,8 +165,8 @@ std::size_t Bdd::node_count() const {
     seen[n] = true;
     ++count;
     if (mgr_->nodes_[n].var != BddManager::kVarTerminal) {
-      stack.push_back(mgr_->nodes_[n].lo);
-      stack.push_back(mgr_->nodes_[n].hi);
+      stack.push_back(BddManager::edge_node(mgr_->nodes_[n].lo));
+      stack.push_back(BddManager::edge_node(mgr_->nodes_[n].hi));
     }
   }
   return count;
@@ -163,9 +178,8 @@ std::size_t Bdd::node_count() const {
 
 BddManager::BddManager(std::uint32_t num_vars) {
   nodes_.reserve(1u << 12);
-  // Terminal nodes: index 0 = false, index 1 = true.
+  // The single terminal node (TRUE); FALSE is its complemented edge.
   nodes_.push_back({kVarTerminal, 0, 0, kNil});
-  nodes_.push_back({kVarTerminal, 1, 1, kNil});
   cache_.assign(1u << 16, CacheEntry{});
   cache_mask_ = cache_.size() - 1;
   for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
@@ -195,18 +209,24 @@ std::uint32_t BddManager::new_var() {
 
 Bdd BddManager::var(std::uint32_t v) {
   XATPG_CHECK_MSG(v < num_vars_, "variable " << v << " not allocated");
-  if (var_nodes_[v] == kNil) var_nodes_[v] = make_node(v, 0, 1);
+  if (var_nodes_[v] == kNil)
+    var_nodes_[v] = make_node(v, kFalseEdge, kTrueEdge);
   return Bdd(this, var_nodes_[v]);
 }
 
 Bdd BddManager::nvar(std::uint32_t v) {
   XATPG_CHECK_MSG(v < num_vars_, "variable " << v << " not allocated");
-  return Bdd(this, make_node(v, 1, 0));
+  // !x_v shares x_v's node through a complemented edge.
+  return Bdd(this, edge_not(var(v).index()));
 }
 
 std::uint32_t BddManager::make_node(std::uint32_t var, std::uint32_t lo,
                                     std::uint32_t hi) {
   if (lo == hi) return lo;  // reduction rule
+  // Canonical form: the THEN edge is never complemented.  !(v ? h : l) ==
+  // v ? !h : !l, so push the complement through the node onto the result.
+  if (edge_comp(hi))
+    return edge_not(unique_lookup(var, edge_not(lo), edge_not(hi)));
   return unique_lookup(var, lo, hi);
 }
 
@@ -217,7 +237,7 @@ std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
   std::uint32_t bucket = static_cast<std::uint32_t>(h & (table.buckets.size() - 1));
   for (std::uint32_t n = table.buckets[bucket]; n != kNil; n = nodes_[n].next) {
     const Node& node = nodes_[n];
-    if (node.lo == lo && node.hi == hi) return n;
+    if (node.lo == lo && node.hi == hi) return make_edge(n, false);
   }
   std::uint32_t idx;
   if (free_head_ != kNil) {
@@ -225,11 +245,11 @@ std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
     free_head_ = nodes_[idx].next;
     --free_count_;
   } else {
-    // Node indices are 32-bit and kNil is reserved; past that point the
-    // computed-cache key packing (operands in 32-bit lanes) would silently
-    // alias, so refuse loudly instead.
-    XATPG_CHECK_MSG(nodes_.size() < static_cast<std::size_t>(kNil),
-                    "BDD node arena exhausted (2^32-1 nodes)");
+    // Edges pack a node index plus the complement bit into 32 bits, and the
+    // all-ones edge is reserved as kNil (the cache sentinel); past 2^31-1
+    // nodes the packing would silently alias, so refuse loudly instead.
+    XATPG_CHECK_MSG(nodes_.size() < static_cast<std::size_t>((1u << 31) - 1),
+                    "BDD node arena exhausted (2^31-1 nodes)");
     idx = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back({});
   }
@@ -238,7 +258,7 @@ std::uint32_t BddManager::unique_lookup(std::uint32_t var, std::uint32_t lo,
   ++table.count;
   peak_nodes_ = std::max(peak_nodes_, allocated_nodes());
   if (table.count > 2 * table.buckets.size()) grow_subtable(var);
-  return idx;
+  return make_edge(idx, false);
 }
 
 void BddManager::subtable_insert(std::uint32_t var, std::uint32_t n) {
@@ -290,8 +310,18 @@ void BddManager::grow_subtable(std::uint32_t var) {
 void BddManager::maybe_gc() {
   if (allocated_nodes() > gc_threshold_) {
     collect_garbage();
-    if (allocated_nodes() > gc_threshold_ / 2) gc_threshold_ *= 2;
+    if (gc_adaptive_) {
+      // Re-arm at twice the surviving size: garbage never exceeds live, so
+      // the peak-allocated watermark tracks the real peak live size within
+      // a factor of two (plus whatever one operation allocates).
+      gc_threshold_ = std::max(kGcFloor, 2 * allocated_nodes());
+    } else if (allocated_nodes() > gc_threshold_ / 2) {
+      // Pinned mode keeps the legacy doubling so a stressed threshold of 0
+      // stays 0 and a test-chosen watermark scales predictably.
+      gc_threshold_ *= 2;
+    }
   }
+  maybe_grow_cache();
   maybe_reorder();
 }
 
@@ -311,23 +341,23 @@ void BddManager::maybe_reorder() {
   next_reorder_at_ = std::max(reorder_policy_.trigger_nodes, scaled);
 }
 
-void BddManager::mark(std::uint32_t idx, std::vector<bool>& marked) const {
-  std::vector<std::uint32_t> stack{idx};
+void BddManager::mark(std::uint32_t edge, std::vector<bool>& marked) const {
+  std::vector<std::uint32_t> stack{edge_node(edge)};
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
     if (marked[n]) continue;
     marked[n] = true;
     if (nodes_[n].var != kVarTerminal) {
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
+      stack.push_back(edge_node(nodes_[n].lo));
+      stack.push_back(edge_node(nodes_[n].hi));
     }
   }
 }
 
 std::size_t BddManager::sweep_dead() {
   std::vector<bool> marked(nodes_.size(), false);
-  marked[0] = marked[1] = true;
+  marked[0] = true;  // the terminal
   for (const Bdd* h = registry_head_; h != nullptr; h = h->reg_next_)
     mark(h->idx_, marked);
   for (const std::uint32_t vn : var_nodes_)
@@ -341,7 +371,7 @@ std::size_t BddManager::sweep_dead() {
   free_head_ = kNil;
   free_count_ = 0;
   std::size_t freed = 0;
-  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
     if (!marked[n]) {
       nodes_[n].var = kVarTerminal;
       nodes_[n].next = free_head_;
@@ -358,7 +388,7 @@ std::size_t BddManager::sweep_dead() {
       ++table.count;
     }
   }
-  cache_clear();
+  cache_scrub_dead(marked);
   return freed;
 }
 
@@ -369,12 +399,51 @@ std::size_t BddManager::collect_garbage() {
 }
 
 // ---------------------------------------------------------------------------
+// Statistics & invariant checking
+// ---------------------------------------------------------------------------
+
+double BddManager::unique_load() const {
+  std::size_t entries = 0, buckets = 0;
+  for (const SubTable& table : subtables_) {
+    entries += table.count;
+    buckets += table.buckets.size();
+  }
+  return buckets == 0 ? 0.0
+                      : static_cast<double>(entries) /
+                            static_cast<double>(buckets);
+}
+
+std::size_t BddManager::validate_canonical() const {
+  std::size_t checked = 0;
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    for (const std::uint32_t head : subtables_[v].buckets) {
+      for (std::uint32_t n = head; n != kNil; n = nodes_[n].next) {
+        const Node& node = nodes_[n];
+        XATPG_CHECK_MSG(node.var == v,
+                        "node " << n << " chained in subtable " << v
+                                << " but labelled " << node.var);
+        XATPG_CHECK_MSG(!edge_comp(node.hi),
+                        "complemented THEN edge in the unique table (node "
+                            << n << ")");
+        XATPG_CHECK_MSG(node.lo != node.hi,
+                        "redundant node " << n << " in the unique table");
+        XATPG_CHECK_MSG(level_of_edge(node.lo) > var_to_level_[v] &&
+                            level_of_edge(node.hi) > var_to_level_[v],
+                        "node " << n << " has a child at or above its level");
+        ++checked;
+      }
+    }
+  }
+  return checked;
+}
+
+// ---------------------------------------------------------------------------
 // Computed cache
 // ---------------------------------------------------------------------------
 
 namespace {
 // Key packing assumes a and b fit in 32-bit lanes of key_lo and c fits below
-// the op tag's 40-bit shift in key_hi.  Operands are node indices (32-bit by
+// the op tag's 40-bit shift in key_hi.  Operands are edges (32-bit by
 // construction, see the arena capacity check in unique_lookup) or small
 // scalars (variable ids, permutation ids, cofactor keys), but a silent
 // aliasing here corrupts results instead of crashing — so guard the pack
@@ -391,11 +460,15 @@ std::uint32_t BddManager::cache_lookup(Op op, std::uint64_t a, std::uint64_t b,
   static_assert(static_cast<std::uint64_t>(Op::Cofactor) < (1ull << 24),
                 "op tag must survive the 40-bit shift in key_hi");
   check_cache_key_widths(a, b, c);
+  ++cache_lookups_;
   const std::uint64_t key_lo = a | (b << 32);
   const std::uint64_t key_hi = (static_cast<std::uint64_t>(op) << 40) | c;
   const std::size_t slot = hash3(key_lo, key_hi, 0) & cache_mask_;
   const CacheEntry& e = cache_[slot];
-  if (e.valid && e.key_lo == key_lo && e.key_hi == key_hi) return e.result;
+  if (e.valid && e.key_lo == key_lo && e.key_hi == key_hi) {
+    ++cache_hits_;
+    return e.result;
+  }
   return kNil;
 }
 
@@ -410,6 +483,59 @@ void BddManager::cache_insert(Op op, std::uint64_t a, std::uint64_t b,
 
 void BddManager::cache_clear() {
   for (CacheEntry& e : cache_) e.valid = false;
+}
+
+void BddManager::cache_scrub_dead(const std::vector<bool>& marked) {
+  // Per-op key layouts (see the pack sites in ops.cpp): operand `a` and the
+  // result are always edges; `b` and `c` are edges or small scalars
+  // depending on the operation, and scalar lanes must NOT be interpreted as
+  // node references.
+  const auto live_edge = [&](std::uint64_t e) {
+    return marked[edge_node(static_cast<std::uint32_t>(e))];
+  };
+  for (CacheEntry& entry : cache_) {
+    if (!entry.valid) continue;
+    const std::uint64_t a = entry.key_lo & 0xffffffffull;
+    const std::uint64_t b = entry.key_lo >> 32;
+    const std::uint64_t c = entry.key_hi & ((1ull << 40) - 1);
+    bool live = live_edge(entry.result) && live_edge(a);
+    if (live) {
+      switch (static_cast<Op>(entry.key_hi >> 40)) {
+        case Op::Ite:  // b = g edge, c = h edge
+          live = live_edge(b) && live_edge(c);
+          break;
+        case Op::AndExists:  // b = g edge, c = cube edge
+          live = live_edge(b) && live_edge(c);
+          break;
+        case Op::Exists:    // b = cube edge, c unused
+        case Op::Compose0:  // b = g edge, c = variable id (scalar)
+          live = live_edge(b);
+          break;
+        case Op::Permute:   // b = permutation id (scalar)
+        case Op::Cofactor:  // b = packed (variable, phase) scalar
+          break;
+      }
+    }
+    if (!live) entry.valid = false;
+  }
+}
+
+void BddManager::maybe_grow_cache() {
+  // One slot per allocated node keeps the collision rate roughly constant
+  // as structures grow; the cap bounds the cache at 2^22 entries (96 MiB).
+  constexpr std::size_t kMaxCacheEntries = 1u << 22;
+  if (allocated_nodes() <= cache_.size() || cache_.size() >= kMaxCacheEntries)
+    return;
+  std::size_t target = cache_.size();
+  while (target < allocated_nodes() && target < kMaxCacheEntries) target *= 2;
+  std::vector<CacheEntry> grown(target);
+  const std::size_t mask = target - 1;
+  for (const CacheEntry& e : cache_) {
+    if (!e.valid) continue;
+    grown[hash3(e.key_lo, e.key_hi, 0) & mask] = e;
+  }
+  cache_ = std::move(grown);
+  cache_mask_ = mask;
 }
 
 std::uint32_t BddManager::register_perm(

@@ -1,13 +1,22 @@
-// Recursive BDD operation cores.  All *_rec functions operate on raw node
-// indices; garbage collection and dynamic reordering are only ever triggered
-// at the public entry points (maybe_gc), so indices remain stable throughout
-// a recursion.
+// Recursive BDD operation cores over complemented edges.  All *_rec
+// functions operate on raw edge values ((node << 1) | complement); garbage
+// collection and dynamic reordering are only ever triggered at the public
+// entry points (maybe_gc), so edges remain stable throughout a recursion.
+//
+// Complement discipline: the cofactors of a complemented edge are the
+// complemented cofactors of its node (!(v ? h : l) == v ? !h : !l), so every
+// recursion folds the incoming complement bit into the child edges it
+// descends.  Operations that commute with complement (permute, compose,
+// cofactor) strip the bit before probing the computed cache and re-apply it
+// to the result, so f and !f share one cache entry; ITE normalizes with the
+// standard-triple rules and carries the complement on its result; forall is
+// literally !exists(!f) and needs no core of its own.
 //
 // Ordering discipline: nodes store the VARIABLE index, but the order is the
 // level permutation (BddManager::level_of).  Every "which operand is on
 // top?" decision therefore compares LEVELS, never variable indices —
 // variable indices only decide identity ("is this the quantified/composed
-// variable?").  Terminals sort below every level (kLevelTerminal).
+// variable?").  The terminal sorts below every level (kLevelTerminal).
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
@@ -18,8 +27,8 @@
 namespace xatpg {
 
 // Every public operation entry must reject operands from a different
-// manager (node indices are meaningless across arenas — mixing silently
-// computes garbage) and invalid handles (null manager deref).  ite() always
+// manager (edges are meaningless across arenas — mixing silently computes
+// garbage) and invalid handles (null manager deref).  ite() always
 // enforced this; these macros extend the same guard to the other entry
 // points.
 #define XATPG_CHECK_SAME_MGR1(f)                                            \
@@ -45,67 +54,103 @@ Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
 std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
                                   std::uint32_t h) {
   // Terminal cases.
-  if (f == 1) return g;
-  if (f == 0) return h;
+  if (f == kTrueEdge) return g;
+  if (f == kFalseEdge) return h;
   if (g == h) return g;
-  if (g == 1 && h == 0) return f;
-  if (g == 0 && h == 1) return not_rec(f);
+  // Arguments that repeat (or complement) f collapse to constants: on the
+  // branch where g (resp. h) is consulted, f's value is already fixed.
+  if (g == f) g = kTrueEdge;
+  else if (g == edge_not(f)) g = kFalseEdge;
+  if (h == f) h = kFalseEdge;
+  else if (h == edge_not(f)) h = kTrueEdge;
+  if (g == h) return g;
+  if (g == kTrueEdge && h == kFalseEdge) return f;
+  if (g == kFalseEdge && h == kTrueEdge) return edge_not(f);
+
+  // Standard-triple normalization (Brace/Rudell/Bryant): among the
+  // equivalent spellings of an OR/AND/XOR-shaped call pick the one whose
+  // first argument has the smaller node index, then force f and g
+  // uncomplemented (the g rule complements the cached result instead).
+  // Together these map up to 8 complement/operand variants of one function
+  // pair onto a single cache entry — the effective-hit-rate win complement
+  // edges are known for.
+  if (g == kTrueEdge) {  // f | h == h | f
+    if (edge_node(h) < edge_node(f)) std::swap(f, h);
+  } else if (h == kFalseEdge) {  // f & g == g & f
+    if (edge_node(g) < edge_node(f)) std::swap(f, g);
+  } else if (g == kFalseEdge) {  // !f & h == !h-first spelling
+    if (edge_node(h) < edge_node(f)) {
+      const std::uint32_t of = f;
+      f = edge_not(h);
+      h = edge_not(of);
+    }
+  } else if (h == kTrueEdge) {  // f -> g == !g -> !f
+    if (edge_node(g) < edge_node(f)) {
+      const std::uint32_t of = f;
+      f = edge_not(g);
+      g = edge_not(of);
+    }
+  } else if (h == edge_not(g)) {  // xnor commutes: ite(f,g,!g) == ite(g,f,!f)
+    if (edge_node(g) < edge_node(f)) {
+      const std::uint32_t of = f;
+      f = g;
+      g = of;
+      h = edge_not(of);
+    }
+  }
+  if (edge_comp(f)) {  // ite(!f, g, h) == ite(f, h, g)
+    f = edge_not(f);
+    std::swap(g, h);
+  }
+  bool out_comp = false;
+  if (edge_comp(g)) {  // ite(f, !g, !h) == !ite(f, g, h)
+    g = edge_not(g);
+    h = edge_not(h);
+    out_comp = true;
+  }
 
   const std::uint32_t hit = cache_lookup(Op::Ite, f, g, h);
-  if (hit != kNil) return hit;
+  if (hit != kNil) return out_comp ? edge_not(hit) : hit;
 
   const std::uint32_t top_level = std::min(
-      level_of_node(f), std::min(level_of_node(g), level_of_node(h)));
+      level_of_edge(f), std::min(level_of_edge(g), level_of_edge(h)));
   const std::uint32_t top_var = level_to_var_[top_level];
 
-  const auto cof = [&](std::uint32_t n, bool hi) {
-    if (nodes_[n].var != top_var) return n;
-    return hi ? nodes_[n].hi : nodes_[n].lo;
+  const auto cof = [&](std::uint32_t e, bool hi_side) {
+    const Node& n = nodes_[edge_node(e)];
+    if (n.var != top_var) return e;
+    return (hi_side ? n.hi : n.lo) ^ (e & 1u);
   };
 
   const std::uint32_t r0 = ite_rec(cof(f, false), cof(g, false), cof(h, false));
   const std::uint32_t r1 = ite_rec(cof(f, true), cof(g, true), cof(h, true));
   const std::uint32_t result = make_node(top_var, r0, r1);
   cache_insert(Op::Ite, f, g, h, result);
-  return result;
-}
-
-std::uint32_t BddManager::not_rec(std::uint32_t f) {
-  if (f == 0) return 1;
-  if (f == 1) return 0;
-  const std::uint32_t hit = cache_lookup(Op::Not, f, 0, 0);
-  if (hit != kNil) return hit;
-  const Node n = nodes_[f];
-  const std::uint32_t r0 = not_rec(n.lo);
-  const std::uint32_t r1 = not_rec(n.hi);
-  const std::uint32_t result = make_node(n.var, r0, r1);
-  cache_insert(Op::Not, f, 0, 0, result);
-  return result;
+  return out_comp ? edge_not(result) : result;
 }
 
 Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
   XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
-  return Bdd(this, ite_rec(f.index(), g.index(), 0));
+  return Bdd(this, ite_rec(f.index(), g.index(), kFalseEdge));
 }
 
 Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
   XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
-  return Bdd(this, ite_rec(f.index(), 1, g.index()));
+  return Bdd(this, ite_rec(f.index(), kTrueEdge, g.index()));
 }
 
 Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
   XATPG_CHECK_SAME_MGR2(f, g);
   maybe_gc();
-  const std::uint32_t ng = not_rec(g.index());
-  return Bdd(this, ite_rec(f.index(), ng, g.index()));
+  return Bdd(this, ite_rec(f.index(), edge_not(g.index()), g.index()));
 }
 
 Bdd BddManager::apply_not(const Bdd& f) {
   XATPG_CHECK_SAME_MGR1(f);
-  maybe_gc();
-  return Bdd(this, not_rec(f.index()));
+  // A pure bit flip: no recursion, no allocation, no GC point.
+  return Bdd(this, edge_not(f.index()));
 }
 
 // ---------------------------------------------------------------------------
@@ -115,40 +160,43 @@ Bdd BddManager::apply_not(const Bdd& f) {
 Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
   XATPG_CHECK_SAME_MGR2(f, cube);
   maybe_gc();
-  return Bdd(this, quant_rec(f.index(), cube.index(), /*universal=*/false));
+  return Bdd(this, exists_rec(f.index(), cube.index()));
 }
 
 Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
   XATPG_CHECK_SAME_MGR2(f, cube);
   maybe_gc();
-  return Bdd(this, quant_rec(f.index(), cube.index(), /*universal=*/true));
+  // ∀x.f == !∃x.!f — with O(1) negation the dual quantifier is free, and
+  // forall shares the exists computed-cache entries through the complement.
+  return Bdd(this, edge_not(exists_rec(edge_not(f.index()), cube.index())));
 }
 
-std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
-                                    bool universal) {
-  if (f == 0 || f == 1) return f;
+std::uint32_t BddManager::exists_rec(std::uint32_t f, std::uint32_t cube) {
+  if (edge_node(f) == 0) return f;  // constants quantify to themselves
   // Skip quantified variables above f's top level (they do not occur in f).
-  while (cube != 1 && level_of_node(cube) < level_of_node(f))
-    cube = nodes_[cube].hi;
-  if (cube == 1) return f;
+  while (cube != kTrueEdge && level_of_edge(cube) < level_of_edge(f))
+    cube = nodes_[edge_node(cube)].hi;
+  if (cube == kTrueEdge) return f;
 
-  const Op op = universal ? Op::Forall : Op::Exists;
-  const std::uint32_t hit = cache_lookup(op, f, cube, 0);
+  const std::uint32_t hit = cache_lookup(Op::Exists, f, cube, 0);
   if (hit != kNil) return hit;
 
-  const Node nf = nodes_[f];
-  const Node nc = nodes_[cube];
+  const std::uint32_t fc = f & 1u;
+  const Node nf = nodes_[edge_node(f)];
+  const Node nc = nodes_[edge_node(cube)];
+  const std::uint32_t lo = nf.lo ^ fc;
+  const std::uint32_t hi = nf.hi ^ fc;
   std::uint32_t result;
   if (nf.var == nc.var) {
-    const std::uint32_t l = quant_rec(nf.lo, nc.hi, universal);
-    const std::uint32_t r = quant_rec(nf.hi, nc.hi, universal);
-    result = universal ? ite_rec(l, r, 0) : ite_rec(l, 1, r);
+    const std::uint32_t l = exists_rec(lo, nc.hi);
+    result = l == kTrueEdge ? kTrueEdge
+                            : ite_rec(l, kTrueEdge, exists_rec(hi, nc.hi));
   } else {  // f's top level is above the cube's next variable
-    const std::uint32_t l = quant_rec(nf.lo, cube, universal);
-    const std::uint32_t r = quant_rec(nf.hi, cube, universal);
+    const std::uint32_t l = exists_rec(lo, cube);
+    const std::uint32_t r = exists_rec(hi, cube);
     result = make_node(nf.var, l, r);
   }
-  cache_insert(op, f, cube, 0, result);
+  cache_insert(Op::Exists, f, cube, 0, result);
   return result;
 }
 
@@ -161,35 +209,41 @@ Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
 
 std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
                                          std::uint32_t cube) {
-  if (f == 0 || g == 0) return 0;
-  if (f == 1 && g == 1) return 1;
-  if (f == 1) return quant_rec(g, cube, /*universal=*/false);
-  if (g == 1) return quant_rec(f, cube, /*universal=*/false);
-  if (cube == 1) return ite_rec(f, g, 0);
+  if (f == kFalseEdge || g == kFalseEdge) return kFalseEdge;
+  if (f == edge_not(g)) return kFalseEdge;  // f ∧ !f — free with complements
+  if (f == g) g = kTrueEdge;                // f ∧ f
+  if (f == kTrueEdge) return exists_rec(g, cube);
+  if (g == kTrueEdge) return exists_rec(f, cube);
+  if (cube == kTrueEdge) return ite_rec(f, g, kFalseEdge);
 
   const std::uint32_t top_level =
-      std::min(level_of_node(f), level_of_node(g));
-  while (cube != 1 && level_of_node(cube) < top_level) cube = nodes_[cube].hi;
-  if (cube == 1) return ite_rec(f, g, 0);
+      std::min(level_of_edge(f), level_of_edge(g));
+  while (cube != kTrueEdge && level_of_edge(cube) < top_level)
+    cube = nodes_[edge_node(cube)].hi;
+  if (cube == kTrueEdge) return ite_rec(f, g, kFalseEdge);
 
+  // The conjunction commutes: canonicalize the operand order so (f, g) and
+  // (g, f) share one cache entry.
+  if (edge_node(g) < edge_node(f)) std::swap(f, g);
   const std::uint32_t hit = cache_lookup(Op::AndExists, f, g, cube);
   if (hit != kNil) return hit;
 
   const std::uint32_t top_var = level_to_var_[top_level];
-  const auto cof = [&](std::uint32_t n, bool hi) {
-    if (nodes_[n].var != top_var) return n;
-    return hi ? nodes_[n].hi : nodes_[n].lo;
+  const auto cof = [&](std::uint32_t e, bool hi_side) {
+    const Node& n = nodes_[edge_node(e)];
+    if (n.var != top_var) return e;
+    return (hi_side ? n.hi : n.lo) ^ (e & 1u);
   };
 
   std::uint32_t result;
-  if (nodes_[cube].var == top_var) {
-    const std::uint32_t rest = nodes_[cube].hi;
+  if (nodes_[edge_node(cube)].var == top_var) {
+    const std::uint32_t rest = nodes_[edge_node(cube)].hi;
     const std::uint32_t r0 = and_exists_rec(cof(f, false), cof(g, false), rest);
-    if (r0 == 1) {
-      result = 1;
+    if (r0 == kTrueEdge) {
+      result = kTrueEdge;
     } else {
       const std::uint32_t r1 = and_exists_rec(cof(f, true), cof(g, true), rest);
-      result = ite_rec(r0, 1, r1);
+      result = ite_rec(r0, kTrueEdge, r1);
     }
   } else {
     const std::uint32_t r0 = and_exists_rec(cof(f, false), cof(g, false), cube);
@@ -215,18 +269,32 @@ Bdd BddManager::permute(const Bdd& f, const std::vector<std::uint32_t>& var_map)
 std::uint32_t BddManager::permute_rec(
     std::uint32_t f, std::uint32_t perm_id,
     const std::vector<std::uint32_t>& var_map) {
-  if (f == 0 || f == 1) return f;
-  const std::uint32_t hit = cache_lookup(Op::Permute, f, perm_id, 0);
-  if (hit != kNil) return hit;
-  const Node nf = nodes_[f];
+  if (edge_node(f) == 0) return f;
+  // Renaming commutes with complement: cache on the regular (uncomplemented)
+  // edge, re-apply the bit on the way out — f and !f share the entry.
+  const std::uint32_t fc = f & 1u;
+  const std::uint32_t fr = edge_regular(f);
+  const std::uint32_t hit = cache_lookup(Op::Permute, fr, perm_id, 0);
+  if (hit != kNil) return hit ^ fc;
+  const Node nf = nodes_[edge_node(f)];
   const std::uint32_t l = permute_rec(nf.lo, perm_id, var_map);
   const std::uint32_t r = permute_rec(nf.hi, perm_id, var_map);
   // The renamed variable may fall anywhere in the order relative to the
-  // rebuilt children, so route through ite on the fresh literal.
-  const std::uint32_t lit = make_node(var_map[nf.var], 0, 1);
-  const std::uint32_t result = ite_rec(lit, r, l);
-  cache_insert(Op::Permute, f, perm_id, 0, result);
-  return result;
+  // rebuilt children.  When it still sits strictly above both (the common
+  // case: the sgraph layouts keep each signal's cur/next/aux triple
+  // adjacent, so group renamings preserve relative depth) one make_node
+  // suffices; only genuine inversions pay for the ite on a fresh literal.
+  const std::uint32_t new_level = var_to_level_[var_map[nf.var]];
+  std::uint32_t result;
+  if (new_level < level_of_edge(l) && new_level < level_of_edge(r)) {
+    result = make_node(var_map[nf.var], l, r);
+  } else {
+    const std::uint32_t lit =
+        make_node(var_map[nf.var], kFalseEdge, kTrueEdge);
+    result = ite_rec(lit, r, l);
+  }
+  cache_insert(Op::Permute, fr, perm_id, 0, result);
+  return result ^ fc;
 }
 
 Bdd BddManager::compose(const Bdd& f, std::uint32_t v, const Bdd& g) {
@@ -237,22 +305,34 @@ Bdd BddManager::compose(const Bdd& f, std::uint32_t v, const Bdd& g) {
 
 std::uint32_t BddManager::compose_rec(std::uint32_t f, std::uint32_t v,
                                       std::uint32_t g) {
-  if (f == 0 || f == 1) return f;
-  const Node nf = nodes_[f];
+  if (edge_node(f) == 0) return f;
+  const Node nf = nodes_[edge_node(f)];
   if (var_to_level_[nf.var] > var_to_level_[v]) return f;  // v cannot occur below
-  const std::uint32_t hit = cache_lookup(Op::Compose0, f, g, v);
-  if (hit != kNil) return hit;
+  // Composition commutes with complement on f (not on g): strip f's bit for
+  // the cache, re-apply on return.
+  const std::uint32_t fc = f & 1u;
+  const std::uint32_t fr = edge_regular(f);
+  const std::uint32_t hit = cache_lookup(Op::Compose0, fr, g, v);
+  if (hit != kNil) return hit ^ fc;
   std::uint32_t result;
   if (nf.var == v) {
     result = ite_rec(g, nf.hi, nf.lo);
   } else {
     const std::uint32_t l = compose_rec(nf.lo, v, g);
     const std::uint32_t r = compose_rec(nf.hi, v, g);
-    const std::uint32_t lit = make_node(nf.var, 0, 1);
-    result = ite_rec(lit, r, l);
+    // Same fast path as permute_rec: when this node's variable is still
+    // strictly above both rebuilt children, the substitution did not
+    // reorder anything at this level and one make_node suffices.
+    const std::uint32_t level = var_to_level_[nf.var];
+    if (level < level_of_edge(l) && level < level_of_edge(r)) {
+      result = make_node(nf.var, l, r);
+    } else {
+      const std::uint32_t lit = make_node(nf.var, kFalseEdge, kTrueEdge);
+      result = ite_rec(lit, r, l);
+    }
   }
-  cache_insert(Op::Compose0, f, g, v, result);
-  return result;
+  cache_insert(Op::Compose0, fr, g, v, result);
+  return result ^ fc;
 }
 
 Bdd BddManager::cofactor(const Bdd& f, std::uint32_t v, bool phase) {
@@ -263,19 +343,21 @@ Bdd BddManager::cofactor(const Bdd& f, std::uint32_t v, bool phase) {
 
 std::uint32_t BddManager::cofactor_rec(std::uint32_t f, std::uint32_t v,
                                        bool phase) {
-  if (f == 0 || f == 1) return f;
-  const Node nf = nodes_[f];
+  if (edge_node(f) == 0) return f;
+  const Node nf = nodes_[edge_node(f)];
   if (var_to_level_[nf.var] > var_to_level_[v]) return f;
-  if (nf.var == v) return phase ? nf.hi : nf.lo;
+  const std::uint32_t fc = f & 1u;
+  if (nf.var == v) return (phase ? nf.hi : nf.lo) ^ fc;
+  const std::uint32_t fr = edge_regular(f);
   const std::uint32_t key = (static_cast<std::uint32_t>(v) << 1) |
                             static_cast<std::uint32_t>(phase);
-  const std::uint32_t hit = cache_lookup(Op::Cofactor, f, key, 0);
-  if (hit != kNil) return hit;
+  const std::uint32_t hit = cache_lookup(Op::Cofactor, fr, key, 0);
+  if (hit != kNil) return hit ^ fc;
   const std::uint32_t l = cofactor_rec(nf.lo, v, phase);
   const std::uint32_t r = cofactor_rec(nf.hi, v, phase);
   const std::uint32_t result = make_node(nf.var, l, r);
-  cache_insert(Op::Cofactor, f, key, 0, result);
-  return result;
+  cache_insert(Op::Cofactor, fr, key, 0, result);
+  return result ^ fc;
 }
 
 // ---------------------------------------------------------------------------
@@ -287,15 +369,15 @@ std::vector<std::uint32_t> BddManager::support_vars(const Bdd& f) {
   std::vector<bool> in_support(num_vars_, false);
   std::vector<bool> seen(nodes_.size(), false);
   std::vector<std::uint32_t> stack;
-  if (f.valid()) stack.push_back(f.index());
+  if (f.valid()) stack.push_back(edge_node(f.index()));
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
-    if (n <= 1 || seen[n]) continue;
+    if (n == 0 || seen[n]) continue;
     seen[n] = true;
     in_support[nodes_[n].var] = true;
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
+    stack.push_back(edge_node(nodes_[n].lo));
+    stack.push_back(edge_node(nodes_[n].hi));
   }
   std::vector<std::uint32_t> out;
   for (std::uint32_t v = 0; v < num_vars_; ++v)
@@ -314,9 +396,9 @@ Bdd BddManager::make_cube(const std::vector<std::uint32_t>& vars) {
             [&](std::uint32_t a, std::uint32_t b) {
               return var_to_level_[a] < var_to_level_[b];
             });
-  std::uint32_t acc = 1;
+  std::uint32_t acc = kTrueEdge;
   for (auto it = sorted.rbegin(); it != sorted.rend(); ++it)
-    acc = make_node(*it, 0, acc);
+    acc = make_node(*it, kFalseEdge, acc);
   return Bdd(this, acc);
 }
 
@@ -331,10 +413,10 @@ Bdd BddManager::make_minterm(const std::vector<std::uint32_t>& vars,
             [&](const auto& a, const auto& b) {
               return var_to_level_[a.first] < var_to_level_[b.first];
             });
-  std::uint32_t acc = 1;
+  std::uint32_t acc = kTrueEdge;
   for (auto it = lits.rbegin(); it != lits.rend(); ++it)
-    acc = it->second ? make_node(it->first, 0, acc)
-                     : make_node(it->first, acc, 0);
+    acc = it->second ? make_node(it->first, kFalseEdge, acc)
+                     : make_node(it->first, acc, kFalseEdge);
   return Bdd(this, acc);
 }
 
@@ -368,38 +450,43 @@ double BddManager::sat_count(const Bdd& f, std::uint32_t nvars,
     return normalize(a);
   };
 
-  // The recursion counts assignments of the levels below each node; the gap
-  // weights use LEVELS, so the per-node count depends on the current order —
+  // The recursion counts assignments of the levels below each edge; the gap
+  // weights use LEVELS, so the per-edge count depends on the current order —
   // but the final total is scaled over all num_vars() levels and then
   // adjusted to the caller's `nvars`-variable universe by a pure power of
   // two, making the returned count a function of f alone (reordering f
-  // never changes its sat_count).
+  // never changes its sat_count).  The memo keys on the full EDGE: an edge
+  // and its complement count different functions.
   std::unordered_map<std::uint32_t, Scaled> memo;
-  // rec(n) = number of assignments of the levels in [level(n), num_vars_)
-  // that satisfy n; terminals behave as level == num_vars_.
-  auto level_of = [&](std::uint32_t n) -> std::uint32_t {
-    return (n <= 1) ? num_vars_ : var_to_level_[nodes_[n].var];
+  // rec(e) = number of assignments of the levels in [level(e), num_vars_)
+  // that satisfy e; the terminal behaves as level == num_vars_.
+  auto level_of = [&](std::uint32_t e) -> std::uint32_t {
+    return edge_node(e) == 0 ? num_vars_
+                             : var_to_level_[nodes_[edge_node(e)].var];
   };
-  auto rec = [&](auto&& self, std::uint32_t n) -> Scaled {
-    if (n == 0) return Scaled{0, 0};
-    if (n == 1) return Scaled{0.5, 1};
-    auto it = memo.find(n);
+  auto rec = [&](auto&& self, std::uint32_t e) -> Scaled {
+    if (e == kFalseEdge) return Scaled{0, 0};
+    if (e == kTrueEdge) return Scaled{0.5, 1};
+    auto it = memo.find(e);
     if (it != memo.end()) return it->second;
-    const Node nn = nodes_[n];
-    const std::uint32_t lvl = level_of(n);
-    Scaled cl = self(self, nn.lo);
-    cl.e += level_of(nn.lo) - lvl - 1;
-    Scaled ch = self(self, nn.hi);
-    ch.e += level_of(nn.hi) - lvl - 1;
+    const Node nn = nodes_[edge_node(e)];
+    const std::uint32_t ec = e & 1u;
+    const std::uint32_t lo = nn.lo ^ ec;
+    const std::uint32_t hi = nn.hi ^ ec;
+    const std::uint32_t lvl = level_of(e);
+    Scaled cl = self(self, lo);
+    cl.e += level_of(lo) - lvl - 1;
+    Scaled ch = self(self, hi);
+    ch.e += level_of(hi) - lvl - 1;
     const Scaled result = add(cl, ch);
-    memo.emplace(n, result);
+    memo.emplace(e, result);
     return result;
   };
 
   Scaled total = rec(rec, f.index());
-  // Levels above the root are free: scale by 2^level(root) (terminals act
-  // as level == num_vars_, making the constants 0 and 2^num_vars_), then
-  // rescale from the manager's universe to the caller's nvars universe.
+  // Levels above the root are free: scale by 2^level(root) (the terminal
+  // acts as level == num_vars_, making the constants 0 and 2^num_vars_),
+  // then rescale from the manager's universe to the caller's nvars universe.
   total.e += level_of(f.index());
   total.e += static_cast<std::int64_t>(nvars) -
              static_cast<std::int64_t>(num_vars_);
@@ -417,15 +504,16 @@ std::vector<Tri> BddManager::pick_minterm(
   XATPG_CHECK_SAME_MGR1(f);
   XATPG_CHECK_MSG(!f.is_false(), "cannot pick a minterm of the zero function");
   std::vector<Tri> by_var(num_vars_, Tri::DontCare);
-  std::uint32_t n = f.index();
-  while (n > 1) {
-    const Node nn = nodes_[n];
-    if (nn.lo != 0) {
+  std::uint32_t e = f.index();
+  while (edge_node(e) != 0) {
+    const Node nn = nodes_[edge_node(e)];
+    const std::uint32_t lo = nn.lo ^ (e & 1u);
+    if (lo != kFalseEdge) {
       by_var[nn.var] = Tri::Zero;
-      n = nn.lo;
+      e = lo;
     } else {
       by_var[nn.var] = Tri::One;
-      n = nn.hi;
+      e = nn.hi ^ (e & 1u);
     }
   }
   std::vector<Tri> out;
@@ -442,29 +530,30 @@ std::vector<std::vector<bool>> BddManager::all_minterms(
                     "vars must be strictly ascending in level");
   std::vector<std::vector<bool>> out;
   std::vector<bool> current(vars.size(), false);
-  auto rec = [&](auto&& self, std::uint32_t node, std::size_t pos) -> void {
-    if (node == 0) return;
+  auto rec = [&](auto&& self, std::uint32_t e, std::size_t pos) -> void {
+    if (e == kFalseEdge) return;
     if (pos == vars.size()) {
-      XATPG_CHECK_MSG(node == 1,
+      XATPG_CHECK_MSG(e == kTrueEdge,
                       "all_minterms: variable list does not cover support");
       XATPG_CHECK_MSG(out.size() < limit, "all_minterms: limit exceeded");
       out.push_back(current);
       return;
     }
-    const std::uint32_t node_level = level_of_node(node);
-    XATPG_CHECK_MSG(node_level >= var_to_level_[vars[pos]],
+    const std::uint32_t edge_level = level_of_edge(e);
+    XATPG_CHECK_MSG(edge_level >= var_to_level_[vars[pos]],
                     "all_minterms: variable list does not cover support");
-    if (node_level == var_to_level_[vars[pos]]) {
-      const Node nn = nodes_[node];
+    if (edge_level == var_to_level_[vars[pos]]) {
+      const Node nn = nodes_[edge_node(e)];
+      const std::uint32_t ec = e & 1u;
       current[pos] = false;
-      self(self, nn.lo, pos + 1);
+      self(self, nn.lo ^ ec, pos + 1);
       current[pos] = true;
-      self(self, nn.hi, pos + 1);
+      self(self, nn.hi ^ ec, pos + 1);
     } else {  // don't-care on vars[pos]
       current[pos] = false;
-      self(self, node, pos + 1);
+      self(self, e, pos + 1);
       current[pos] = true;
-      self(self, node, pos + 1);
+      self(self, e, pos + 1);
     }
   };
   rec(rec, f.index(), 0);
@@ -473,13 +562,13 @@ std::vector<std::vector<bool>> BddManager::all_minterms(
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
   XATPG_CHECK_SAME_MGR1(f);
-  std::uint32_t n = f.index();
-  while (n > 1) {
-    const Node nn = nodes_[n];
+  std::uint32_t e = f.index();
+  while (edge_node(e) != 0) {
+    const Node& nn = nodes_[edge_node(e)];
     XATPG_CHECK(nn.var < assignment.size());
-    n = assignment[nn.var] ? nn.hi : nn.lo;
+    e = (assignment[nn.var] ? nn.hi : nn.lo) ^ (e & 1u);
   }
-  return n == 1;
+  return e == kTrueEdge;
 }
 
 }  // namespace xatpg

@@ -39,24 +39,33 @@ void BddManager::swap_adjacent_levels(std::uint32_t level) {
 
   for (const std::uint32_t n : upper) {
     const Node node = nodes_[n];
-    const bool lo_y = node.lo > 1 && nodes_[node.lo].var == yv;
-    const bool hi_y = node.hi > 1 && nodes_[node.hi].var == yv;
+    const std::uint32_t lo_n = edge_node(node.lo);
+    const std::uint32_t hi_n = edge_node(node.hi);
+    const bool lo_y = lo_n != 0 && nodes_[lo_n].var == yv;
+    const bool hi_y = hi_n != 0 && nodes_[hi_n].var == yv;
     // A node independent of yv keeps its label and silently sinks one
     // level; nothing structural changes.
     if (!lo_y && !hi_y) continue;
     // f = x ? f1 : f0,  f1 = y ? f11 : f10,  f0 = y ? f01 : f00
     //   = y ? (x ? f11 : f01) : (x ? f10 : f00)
-    const std::uint32_t f00 = lo_y ? nodes_[node.lo].lo : node.lo;
-    const std::uint32_t f01 = lo_y ? nodes_[node.lo].hi : node.lo;
-    const std::uint32_t f10 = hi_y ? nodes_[node.hi].lo : node.hi;
-    const std::uint32_t f11 = hi_y ? nodes_[node.hi].hi : node.hi;
+    // The ELSE edge's complement bit distributes onto f00/f01; the THEN
+    // edge is uncomplemented by canonical form, so f10/f11 are verbatim.
+    // That also makes f11 uncomplemented, so the rebuilt THEN child c1 is
+    // always a plain edge and the relabelled node keeps the
+    // no-complemented-THEN-edge invariant in place.
+    const std::uint32_t lc = node.lo & 1u;
+    const std::uint32_t f00 = lo_y ? (nodes_[lo_n].lo ^ lc) : node.lo;
+    const std::uint32_t f01 = lo_y ? (nodes_[lo_n].hi ^ lc) : node.lo;
+    const std::uint32_t f10 = hi_y ? nodes_[hi_n].lo : node.hi;
+    const std::uint32_t f11 = hi_y ? nodes_[hi_n].hi : node.hi;
     // Unhook n before creating the new children: the (f0, f1) slot in the
     // subtable must not resolve to n itself.  The new children can never
     // collide with an unprocessed upper node (those have a yv child; the
     // new children's cofactor pairs never do), and the relabelled n cannot
-    // collide with an existing yv node (its children would have to be
-    // xv-labelled, impossible for a node built while xv was above yv) — so
-    // canonicity survives without a global rehash.
+    // collide with an existing yv node (at least one of its children is
+    // xv-labelled — both collapsing would force node.lo == node.hi by
+    // canonicity — impossible for children built while xv was above yv) —
+    // so canonicity survives without a global rehash.
     subtable_remove(xv, n);
     const std::uint32_t c0 = make_node(xv, f00, f10);
     const std::uint32_t c1 = make_node(xv, f01, f11);

@@ -1,0 +1,43 @@
+#include "netlist/random_netlist.hpp"
+
+#include <string>
+
+#include "sim/ternary.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace xatpg {
+
+Netlist random_netlist(std::uint64_t seed, const RandomNetlistOptions& options,
+                       std::vector<bool>* reset) {
+  Rng rng(seed);
+  Netlist netlist;
+  netlist.set_name("random" + std::to_string(seed));
+  std::vector<SignalId> pool;
+  for (std::size_t i = 0; i < options.num_inputs; ++i)
+    pool.push_back(netlist.add_input("in" + std::to_string(i)));
+  static constexpr GateType kCombinational[] = {
+      GateType::And, GateType::Or,  GateType::Nand,
+      GateType::Nor, GateType::Xor, GateType::Not};
+  for (std::size_t g = 0; g < options.num_gates; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    const bool state_holding = options.allow_state_holding && rng.below(4) == 0;
+    const GateType type = state_holding
+                              ? GateType::Celem
+                              : kCombinational[rng.below(6)];
+    std::size_t arity = (type == GateType::Not) ? 1 : 2 + rng.below(2);
+    if (type == GateType::Celem) arity = 2;
+    std::vector<SignalId> fanins;
+    for (std::size_t i = 0; i < arity; ++i)
+      fanins.push_back(pool[rng.below(pool.size())]);
+    pool.push_back(netlist.add_gate(type, name, fanins));
+  }
+  netlist.set_output(pool.back());
+  netlist.validate();
+  std::vector<bool> settled(netlist.num_signals(), false);
+  XATPG_CHECK(settle_to_stable(netlist, settled));
+  if (reset != nullptr) *reset = std::move(settled);
+  return netlist;
+}
+
+}  // namespace xatpg

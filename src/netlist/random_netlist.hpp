@@ -1,0 +1,32 @@
+// Seeded random netlist generator.  Shared by the test fixtures
+// (tests/fixtures.hpp locks the seed-7 shape as a golden value) and the
+// perf-corpus harness (src/perf), which runs whole seeded families through
+// the ATPG flow as a synthetic workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace xatpg {
+
+struct RandomNetlistOptions {
+  std::size_t num_inputs = 3;
+  /// Non-input gates to add on top of the inputs.
+  std::size_t num_gates = 8;
+  /// Allow state-holding C-elements in the mix (the circuit stays
+  /// structurally feed-forward; state lives in the gates' own outputs, so a
+  /// gate-by-gate relaxation always settles).
+  bool allow_state_holding = true;
+};
+
+/// Deterministic random netlist: same seed, same circuit, on every platform
+/// (the generator only draws from Rng).  The result passes validate() and
+/// settles from the all-false state; the final gate is the primary output.
+/// When `reset` is non-null it receives the settled all-false reset state.
+Netlist random_netlist(std::uint64_t seed,
+                       const RandomNetlistOptions& options = {},
+                       std::vector<bool>* reset = nullptr);
+
+}  // namespace xatpg

@@ -1,0 +1,673 @@
+#include "perf/perf.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "benchmarks/benchmarks.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/random_netlist.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "xatpg/session.hpp"
+
+namespace xatpg::perf {
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Embedded ISCAS-style workloads.  c17 is the classic NAND mesh; the parity
+// tree is the complement-edge showcase shape (every subfunction and its
+// negation share nodes); the mux covers AND/OR decode logic with inverted
+// selects.
+constexpr const char* kC17Bench = R"(# ISCAS-85 c17 (NAND-only mesh)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+
+constexpr const char* kParity5Bench = R"(# 5-input XOR parity tree
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(p)
+x1 = XOR(a, b)
+x2 = XOR(c, d)
+x3 = XOR(x1, x2)
+p = XOR(x3, e)
+)";
+
+constexpr const char* kMux4Bench = R"(# 4:1 multiplexer with decoded selects
+INPUT(s0)
+INPUT(s1)
+INPUT(d0)
+INPUT(d1)
+INPUT(d2)
+INPUT(d3)
+OUTPUT(y)
+n0 = NOT(s0)
+n1 = NOT(s1)
+t0 = AND(d0, n0, n1)
+t1 = AND(d1, s0, n1)
+t2 = AND(d2, n0, s1)
+t3 = AND(d3, s0, s1)
+o1 = OR(t0, t1)
+o2 = OR(t2, t3)
+y = OR(o1, o2)
+)";
+
+struct RandomFamilyMember {
+  std::uint64_t seed;
+  std::size_t inputs, gates;
+};
+
+// Two shapes x several seeds: the default fixture shape and a wider/deeper
+// one.  Deterministic across platforms (the generator draws only from Rng);
+// seeds chosen so each member stays around a second even unoptimized — the
+// corpus is a CI gate, not a soak test.
+constexpr RandomFamilyMember kRandomFamily[] = {
+    {11, 3, 8}, {12, 3, 8}, {13, 3, 8}, {24, 4, 10}, {25, 4, 10},
+};
+
+}  // namespace
+
+std::vector<CorpusEntry> default_corpus() {
+  std::vector<CorpusEntry> corpus;
+  for (const std::string& name : si_benchmark_names()) {
+    CorpusEntry entry;
+    entry.kind = CorpusEntry::Kind::SiBenchmark;
+    entry.id = "si/" + name;
+    entry.name = name;
+    corpus.push_back(std::move(entry));
+  }
+  for (const std::string& name : bd_benchmark_names()) {
+    CorpusEntry entry;
+    entry.kind = CorpusEntry::Kind::BdBenchmark;
+    entry.id = "bd/" + name;
+    entry.name = name;
+    corpus.push_back(std::move(entry));
+  }
+  for (const RandomFamilyMember& member : kRandomFamily) {
+    CorpusEntry entry;
+    entry.kind = CorpusEntry::Kind::RandomNetlist;
+    entry.id = "rand/s" + std::to_string(member.seed);
+    entry.name = "random" + std::to_string(member.seed);
+    entry.seed = member.seed;
+    entry.rand_inputs = member.inputs;
+    entry.rand_gates = member.gates;
+    corpus.push_back(std::move(entry));
+  }
+  const std::pair<const char*, const char*> bench_texts[] = {
+      {"c17", kC17Bench}, {"parity5", kParity5Bench}, {"mux4", kMux4Bench}};
+  for (const auto& [name, text] : bench_texts) {
+    CorpusEntry entry;
+    entry.kind = CorpusEntry::Kind::BenchText;
+    entry.id = std::string("bench/") + name;
+    entry.name = name;
+    entry.text = text;
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+// ---------------------------------------------------------------------------
+// Running
+// ---------------------------------------------------------------------------
+
+std::size_t BenchRecord::total_faults() const {
+  std::size_t n = 0;
+  for (const CircuitRecord& c : circuits) n += c.faults_total;
+  return n;
+}
+std::size_t BenchRecord::total_covered() const {
+  std::size_t n = 0;
+  for (const CircuitRecord& c : circuits) n += c.faults_covered;
+  return n;
+}
+std::size_t BenchRecord::total_peak_nodes() const {
+  std::size_t n = 0;
+  for (const CircuitRecord& c : circuits) n += c.peak_nodes;
+  return n;
+}
+double BenchRecord::total_cpu_ms() const {
+  double n = 0;
+  for (const CircuitRecord& c : circuits) n += c.cpu_ms;
+  return n;
+}
+
+CircuitRecord run_entry(const CorpusEntry& entry, const AtpgOptions& options) {
+  // The timed window starts before Session construction: CSSG building is
+  // part of the paper's CPU column (same convention as bench_table1/2).
+  Timer timer;
+  Expected<Session> session = [&]() -> Expected<Session> {
+    switch (entry.kind) {
+      case CorpusEntry::Kind::SiBenchmark:
+        return Session::from_benchmark(entry.name,
+                                       SynthStyle::SpeedIndependent, options);
+      case CorpusEntry::Kind::BdBenchmark:
+        return Session::from_benchmark(entry.name, SynthStyle::BoundedDelay,
+                                       options);
+      case CorpusEntry::Kind::RandomNetlist: {
+        RandomNetlistOptions shape;
+        shape.num_inputs = entry.rand_inputs;
+        shape.num_gates = entry.rand_gates;
+        return Session::from_xnl(
+            write_xnl_string(random_netlist(entry.seed, shape)), options);
+      }
+      case CorpusEntry::Kind::BenchText:
+        return Session::from_bench(entry.text, options);
+    }
+    return Error{ErrorCode::OptionError, "unknown corpus entry kind"};
+  }();
+  XATPG_CHECK_MSG(session.has_value(), "corpus entry '"
+                                           << entry.id << "' failed to build: "
+                                           << session.error().to_string());
+
+  const Expected<AtpgResult> out_result =
+      session->run(session->output_stuck_faults());
+  XATPG_CHECK_MSG(out_result.has_value(),
+                  "corpus entry '" << entry.id << "' output-stuck run failed: "
+                                   << out_result.error().to_string());
+  const Expected<AtpgResult> in_result =
+      session->run(session->input_stuck_faults());
+  XATPG_CHECK_MSG(in_result.has_value(),
+                  "corpus entry '" << entry.id << "' input-stuck run failed: "
+                                   << in_result.error().to_string());
+
+  CircuitRecord record;
+  record.id = entry.id;
+  record.signals = session->num_signals();
+  record.pins = session->num_pins();
+  record.faults_total =
+      out_result->stats.total_faults + in_result->stats.total_faults;
+  record.faults_covered =
+      out_result->stats.covered + in_result->stats.covered;
+  record.coverage = record.faults_total == 0
+                        ? 0.0
+                        : static_cast<double>(record.faults_covered) /
+                              static_cast<double>(record.faults_total);
+  record.sequences = in_result->sequences.size();
+  record.cpu_ms = timer.millis();
+
+  const ShardBddStats bdd = session->bdd_stats();
+  record.peak_nodes = bdd.peak_nodes;
+  record.live_nodes = bdd.live_nodes;
+  record.reorders = bdd.reorders;
+  record.cache_lookups = bdd.cache_lookups;
+  record.cache_hits = bdd.cache_hits;
+  record.cache_hit_rate = bdd.cache_hit_rate();
+  record.unique_load = bdd.unique_load;
+  record.post_sift_nodes = session->sift_now();
+  return record;
+}
+
+BenchRecord run_corpus(const std::vector<CorpusEntry>& corpus,
+                       const AtpgOptions& options, const std::string& host_tag,
+                       std::ostream* progress) {
+  BenchRecord record;
+  record.host = host_tag;
+  record.threads = options.threads;
+  record.circuits.reserve(corpus.size());
+  for (const CorpusEntry& entry : corpus) {
+    record.circuits.push_back(run_entry(entry, options));
+    if (progress != nullptr) {
+      const CircuitRecord& c = record.circuits.back();
+      *progress << "[bench] " << c.id << ": " << c.faults_covered << "/"
+                << c.faults_total << " covered, peak " << c.peak_nodes
+                << " nodes (post-sift " << c.post_sift_nodes << "), "
+                << c.cpu_ms << " ms\n";
+    }
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(const BenchRecord& record, std::ostream& out) {
+  out << "{\n"
+      << "  \"schema\": " << record.schema << ",\n"
+      << "  \"kernel\": \"" << json_escape(record.kernel) << "\",\n"
+      << "  \"host\": \"" << json_escape(record.host) << "\",\n"
+      << "  \"threads\": " << record.threads << ",\n"
+      << "  \"circuits\": [\n";
+  for (std::size_t i = 0; i < record.circuits.size(); ++i) {
+    const CircuitRecord& c = record.circuits[i];
+    out << "    {\"id\": \"" << json_escape(c.id) << "\""
+        << ", \"signals\": " << c.signals << ", \"pins\": " << c.pins
+        << ", \"faults_total\": " << c.faults_total
+        << ", \"faults_covered\": " << c.faults_covered
+        << ", \"coverage\": " << c.coverage
+        << ", \"sequences\": " << c.sequences << ", \"cpu_ms\": " << c.cpu_ms
+        << ", \"peak_nodes\": " << c.peak_nodes
+        << ", \"live_nodes\": " << c.live_nodes
+        << ", \"post_sift_nodes\": " << c.post_sift_nodes
+        << ", \"reorders\": " << c.reorders
+        << ", \"cache_lookups\": " << c.cache_lookups
+        << ", \"cache_hits\": " << c.cache_hits
+        << ", \"cache_hit_rate\": " << c.cache_hit_rate
+        << ", \"unique_load\": " << c.unique_load << "}"
+        << (i + 1 < record.circuits.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"totals\": {\"faults_total\": " << record.total_faults()
+      << ", \"faults_covered\": " << record.total_covered()
+      << ", \"peak_nodes\": " << record.total_peak_nodes()
+      << ", \"cpu_ms\": " << record.total_cpu_ms() << "}\n"
+      << "}\n";
+}
+
+std::string to_json(const BenchRecord& record) {
+  std::ostringstream out;
+  write_json(record, out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (self-contained recursive descent; no external dependency)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object } type =
+      Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue value = parse_value();
+    skip_ws();
+    XATPG_CHECK_MSG(pos_ == text_.size(),
+                    "JSON: trailing content at offset " << pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    XATPG_CHECK_MSG(peek() == c, "JSON: expected '" << c << "' at offset "
+                                                    << pos_ << ", got '"
+                                                    << text_[pos_] << "'");
+    ++pos_;
+  }
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.type = JsonValue::Type::String;
+      value.string = parse_string();
+      return value;
+    }
+    JsonValue value;
+    if (consume_literal("true")) {
+      value.type = JsonValue::Type::Bool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.type = JsonValue::Type::Bool;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.type = JsonValue::Type::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      XATPG_CHECK_MSG(peek() == '"',
+                      "JSON: expected object key at offset " << pos_);
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.type = JsonValue::Type::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          XATPG_CHECK_MSG(pos_ + 4 <= text_.size(),
+                          "JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else XATPG_CHECK_MSG(false, "JSON: bad \\u escape digit");
+          }
+          // Records only ever escape control characters; anything else is
+          // passed through as a single byte (sufficient for our producer).
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default:
+          XATPG_CHECK_MSG(false, "JSON: unknown escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    XATPG_CHECK_MSG(pos_ > start, "JSON: expected a value at offset " << start);
+    JsonValue value;
+    value.type = JsonValue::Type::Number;
+    try {
+      value.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      XATPG_CHECK_MSG(false, "JSON: malformed number at offset " << start);
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double num_field(const JsonValue& object, const char* key, double fallback) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return fallback;
+  XATPG_CHECK_MSG(value->type == JsonValue::Type::Number,
+                  "JSON: field '" << key << "' is not a number");
+  return value->number;
+}
+
+std::size_t size_field(const JsonValue& object, const char* key) {
+  const double value = num_field(object, key, 0);
+  XATPG_CHECK_MSG(value >= 0, "JSON: field '" << key << "' is negative");
+  return static_cast<std::size_t>(value);
+}
+
+std::string string_field(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return {};
+  XATPG_CHECK_MSG(value->type == JsonValue::Type::String,
+                  "JSON: field '" << key << "' is not a string");
+  return value->string;
+}
+
+}  // namespace
+
+BenchRecord parse_record(const std::string& json_text) {
+  const JsonValue root = JsonParser(json_text).parse();
+  XATPG_CHECK_MSG(root.type == JsonValue::Type::Object,
+                  "perf record: top level is not an object");
+  BenchRecord record;
+  record.schema = static_cast<int>(num_field(root, "schema", 0));
+  XATPG_CHECK_MSG(record.schema >= 1,
+                  "perf record: missing or invalid 'schema'");
+  record.kernel = string_field(root, "kernel");
+  record.host = string_field(root, "host");
+  record.threads = size_field(root, "threads");
+  const JsonValue* circuits = root.find("circuits");
+  XATPG_CHECK_MSG(circuits != nullptr &&
+                      circuits->type == JsonValue::Type::Array,
+                  "perf record: missing 'circuits' array");
+  for (const JsonValue& entry : circuits->array) {
+    XATPG_CHECK_MSG(entry.type == JsonValue::Type::Object,
+                    "perf record: circuit entry is not an object");
+    CircuitRecord c;
+    c.id = string_field(entry, "id");
+    XATPG_CHECK_MSG(!c.id.empty(), "perf record: circuit entry without 'id'");
+    c.signals = size_field(entry, "signals");
+    c.pins = size_field(entry, "pins");
+    c.faults_total = size_field(entry, "faults_total");
+    c.faults_covered = size_field(entry, "faults_covered");
+    c.coverage = num_field(entry, "coverage", 0);
+    c.sequences = size_field(entry, "sequences");
+    c.cpu_ms = num_field(entry, "cpu_ms", 0);
+    c.peak_nodes = size_field(entry, "peak_nodes");
+    c.live_nodes = size_field(entry, "live_nodes");
+    c.post_sift_nodes = size_field(entry, "post_sift_nodes");
+    c.reorders = size_field(entry, "reorders");
+    c.cache_lookups = size_field(entry, "cache_lookups");
+    c.cache_hits = size_field(entry, "cache_hits");
+    c.cache_hit_rate = num_field(entry, "cache_hit_rate", 0);
+    c.unique_load = num_field(entry, "unique_load", 0);
+    record.circuits.push_back(std::move(c));
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Comparator
+// ---------------------------------------------------------------------------
+
+Comparison compare(const BenchRecord& baseline, const BenchRecord& current,
+                   const CompareOptions& options) {
+  Comparison result;
+  const auto fail = [&](std::string message) {
+    result.ok = false;
+    result.failures.push_back(std::move(message));
+  };
+  const auto note = [&](std::string message) {
+    result.notes.push_back(std::move(message));
+  };
+  const auto fmt = [](double value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  };
+
+  if (baseline.schema != current.schema)
+    note("schema changed: " + std::to_string(baseline.schema) + " -> " +
+         std::to_string(current.schema));
+  if (baseline.kernel != current.kernel)
+    note("kernel changed: '" + baseline.kernel + "' -> '" + current.kernel +
+         "'");
+  const bool cpu_comparable = !baseline.host.empty() &&
+                              baseline.host == current.host &&
+                              baseline.threads == current.threads;
+  if (!cpu_comparable) {
+    if (baseline.host.empty() || current.host.empty())
+      note("CPU gates skipped: record(s) carry no host tag (run `xatpg "
+           "bench --host TAG` or set XATPG_BENCH_HOST to arm them)");
+    else
+      note("CPU gates skipped: host/threads tags differ ('" + baseline.host +
+           "'/" + std::to_string(baseline.threads) + " vs '" + current.host +
+           "'/" + std::to_string(current.threads) + ")");
+  }
+
+  std::unordered_map<std::string, const CircuitRecord*> by_id;
+  for (const CircuitRecord& c : current.circuits) by_id.emplace(c.id, &c);
+
+  for (const CircuitRecord& base : baseline.circuits) {
+    const auto it = by_id.find(base.id);
+    if (it == by_id.end()) {
+      fail(base.id + ": missing from the current record");
+      continue;
+    }
+    const CircuitRecord& cur = *it->second;
+    if (cur.faults_total != base.faults_total) {
+      fail(base.id + ": fault universe changed (" +
+           std::to_string(base.faults_total) + " -> " +
+           std::to_string(cur.faults_total) +
+           "); refresh the baseline intentionally");
+      continue;
+    }
+    if (cur.faults_covered < base.faults_covered)
+      fail(base.id + ": coverage dropped (" +
+           std::to_string(base.faults_covered) + " -> " +
+           std::to_string(cur.faults_covered) + " of " +
+           std::to_string(base.faults_total) + ")");
+    else if (cur.faults_covered > base.faults_covered)
+      note(base.id + ": coverage improved (" +
+           std::to_string(base.faults_covered) + " -> " +
+           std::to_string(cur.faults_covered) + ")");
+
+    const double node_bound = static_cast<double>(base.peak_nodes) *
+                              (1.0 + options.max_node_regression);
+    if (static_cast<double>(cur.peak_nodes) > node_bound)
+      fail(base.id + ": peak nodes regressed >" +
+           fmt(100.0 * options.max_node_regression) + "% (" +
+           std::to_string(base.peak_nodes) + " -> " +
+           std::to_string(cur.peak_nodes) + ")");
+    else if (static_cast<double>(cur.peak_nodes) <
+             static_cast<double>(base.peak_nodes) *
+                 (1.0 - options.max_node_regression))
+      note(base.id + ": peak nodes improved >" +
+           fmt(100.0 * options.max_node_regression) + "% (" +
+           std::to_string(base.peak_nodes) + " -> " +
+           std::to_string(cur.peak_nodes) + "); consider refreshing the "
+           "baseline to lock it in");
+
+    if (cpu_comparable && base.cpu_ms >= options.min_cpu_ms &&
+        cur.cpu_ms > base.cpu_ms * (1.0 + options.max_cpu_regression))
+      fail(base.id + ": CPU regressed >" +
+           fmt(100.0 * options.max_cpu_regression) + "% (" +
+           fmt(base.cpu_ms) + " -> " + fmt(cur.cpu_ms) + " ms)");
+  }
+
+  for (const CircuitRecord& cur : current.circuits) {
+    const auto in_baseline = [&] {
+      for (const CircuitRecord& base : baseline.circuits)
+        if (base.id == cur.id) return true;
+      return false;
+    };
+    if (!in_baseline())
+      note(cur.id + ": new circuit (not in the baseline)");
+  }
+
+  if (cpu_comparable) {
+    const double base_total = baseline.total_cpu_ms();
+    const double cur_total = current.total_cpu_ms();
+    if (base_total > 0 &&
+        cur_total > base_total * (1.0 + options.max_cpu_regression))
+      fail("total CPU regressed >" + fmt(100.0 * options.max_cpu_regression) +
+           "% (" + fmt(base_total) + " -> " + fmt(cur_total) + " ms)");
+  }
+  return result;
+}
+
+}  // namespace xatpg::perf

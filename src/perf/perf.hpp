@@ -1,0 +1,143 @@
+// Corpus performance harness + machine-readable perf records + regression
+// comparator.  `xatpg bench` (tools/xatpg_cli.cpp) is the front end; the CI
+// perf-smoke job runs it on every push and diffs the produced record against
+// the checked-in bench/baseline.json.
+//
+// The corpus covers three workload families, all driven through the public
+// Session facade:
+//   * every named benchmark reconstruction, in both synthesis styles
+//     (Table 1 speed-independent, Table 2 hazard-free bounded-delay);
+//   * seeded random netlist families (deterministic: same seed, same
+//     circuit, same counts on every platform);
+//   * embedded ISCAS-style .bench circuits (combinational workloads with
+//     shapes the handshake corpus does not produce: NAND meshes, parity
+//     trees, mux/decode logic).
+//
+// A record is versioned JSON (schema below).  Everything the comparator
+// gates on — coverage and BDD node counts — is bit-deterministic, so the
+// gate has zero flake surface; CPU times are recorded too but only compared
+// between records carrying the same host tag (a GitHub runner and a laptop
+// are not comparable machines).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "xatpg/options.hpp"
+
+namespace xatpg::perf {
+
+inline constexpr int kSchemaVersion = 1;
+/// Identifies the kernel generation a record was produced by (recorded in
+/// the JSON so a cross-kernel diff is visible in the comparator output).
+inline constexpr const char* kKernelName = "complement-edge";
+
+// --- corpus -----------------------------------------------------------------
+
+struct CorpusEntry {
+  enum class Kind : std::uint8_t {
+    SiBenchmark,    ///< named reconstruction, speed-independent synthesis
+    BdBenchmark,    ///< named reconstruction, bounded-delay synthesis
+    RandomNetlist,  ///< seeded generator family member
+    BenchText,      ///< embedded ISCAS-style .bench source
+  };
+  Kind kind;
+  std::string id;    ///< unique record key, e.g. "si/chu150", "rand/s11"
+  std::string name;  ///< benchmark name / circuit label
+  std::uint64_t seed = 0;               ///< RandomNetlist: generator seed
+  std::size_t rand_inputs = 3;          ///< RandomNetlist: input count
+  std::size_t rand_gates = 8;           ///< RandomNetlist: gate count
+  std::string text;                     ///< BenchText: the .bench source
+};
+
+/// The full default corpus: all Table 1 + Table 2 names, the seeded random
+/// families, and the embedded .bench circuits.
+std::vector<CorpusEntry> default_corpus();
+
+// --- records ----------------------------------------------------------------
+
+struct CircuitRecord {
+  std::string id;
+  std::size_t signals = 0, pins = 0;
+  /// Input- plus output-stuck universes, summed (the paper's two tables).
+  std::size_t faults_total = 0, faults_covered = 0;
+  double coverage = 0;  ///< faults_covered / faults_total
+  std::size_t sequences = 0;
+  double cpu_ms = 0;  ///< wall clock from before Session construction
+  std::size_t peak_nodes = 0;       ///< allocated-node watermark (shard 0)
+  std::size_t live_nodes = 0;       ///< live after a final collection
+  std::size_t post_sift_nodes = 0;  ///< live after one explicit sift pass
+  std::size_t reorders = 0;
+  std::size_t cache_lookups = 0, cache_hits = 0;
+  double cache_hit_rate = 0;
+  double unique_load = 0;
+};
+
+struct BenchRecord {
+  int schema = kSchemaVersion;
+  std::string kernel = kKernelName;
+  /// Free-form machine tag; compare() only gates CPU between equal tags.
+  std::string host;
+  std::size_t threads = 1;
+  std::vector<CircuitRecord> circuits;
+
+  std::size_t total_faults() const;
+  std::size_t total_covered() const;
+  std::size_t total_peak_nodes() const;
+  double total_cpu_ms() const;
+};
+
+/// Run one corpus entry through a fresh Session.  Throws CheckError when the
+/// entry does not build or the run fails — the harness is in-tree tooling
+/// and a broken corpus is a bug, not an input error.
+CircuitRecord run_entry(const CorpusEntry& entry, const AtpgOptions& options);
+
+/// Run the corpus in order.  `progress` (optional) receives one line per
+/// circuit as it completes.
+BenchRecord run_corpus(const std::vector<CorpusEntry>& corpus,
+                       const AtpgOptions& options, const std::string& host_tag,
+                       std::ostream* progress = nullptr);
+
+// --- JSON -------------------------------------------------------------------
+
+/// Escape a string for embedding in a JSON double-quoted literal (shared by
+/// the record writer and the CLI's run --json output).
+std::string json_escape(const std::string& s);
+
+void write_json(const BenchRecord& record, std::ostream& out);
+std::string to_json(const BenchRecord& record);
+
+/// Parse a record produced by write_json (unknown keys are ignored, so newer
+/// records stay readable by older comparators).  Throws CheckError with a
+/// position diagnostic on malformed input.
+BenchRecord parse_record(const std::string& json_text);
+
+// --- comparator ---------------------------------------------------------------
+
+struct CompareOptions {
+  /// A circuit fails when current peak nodes exceed baseline * (1 + this).
+  double max_node_regression = 0.25;
+  /// Same bound for CPU — applied per circuit (above min_cpu_ms) and to the
+  /// corpus total, but only when both records carry the same host tag.
+  double max_cpu_regression = 0.25;
+  /// Per-circuit CPU gates ignore circuits faster than this in the baseline
+  /// (sub-threshold times are dominated by noise, not by the code).
+  double min_cpu_ms = 25.0;
+};
+
+struct Comparison {
+  bool ok = true;
+  std::vector<std::string> failures;  ///< each one is a gate violation
+  std::vector<std::string> notes;     ///< informational (improvements, skips)
+};
+
+/// Diff `current` against `baseline`.  Gates: every baseline circuit must be
+/// present with an unchanged fault universe, coverage must not drop, peak
+/// nodes and (host tags permitting) CPU must stay within the regression
+/// bounds.  Circuits only in `current` are reported as notes.
+Comparison compare(const BenchRecord& baseline, const BenchRecord& current,
+                   const CompareOptions& options = {});
+
+}  // namespace xatpg::perf

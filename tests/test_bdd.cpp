@@ -218,7 +218,112 @@ TEST_F(BddTest, Implies) {
 
 TEST_F(BddTest, NodeCount) {
   EXPECT_EQ(mgr.bdd_true().node_count(), 1u);
-  EXPECT_EQ(v(0).node_count(), 3u);  // node + two terminals
+  EXPECT_EQ(mgr.bdd_false().node_count(), 1u);  // shares the TRUE terminal
+  EXPECT_EQ(v(0).node_count(), 2u);  // node + the single terminal
+  EXPECT_EQ((!v(0)).node_count(), 2u);  // complement shares the same nodes
+}
+
+// --- complement-edge canonicity invariants -----------------------------------
+//
+// The kernel stores negation as an attribute bit on edges; canonical form
+// forbids a complemented THEN edge anywhere in the unique table, which is
+// what makes structural equality function equality.  These tests pin the
+// invariants the rest of the stack silently relies on.
+
+TEST(BddComplement, NegationIsFreeAndInvolutive) {
+  BddManager mgr(8);
+  Rng rng(99);
+  const Bdd f = fixtures::random_bdd(mgr, rng, 5, 8);
+  const std::size_t before = mgr.allocated_nodes();
+  const Bdd nf = !f;
+  const Bdd nnf = !nf;
+  // operator! allocates no nodes — it is a bit flip on the edge.
+  EXPECT_EQ(mgr.allocated_nodes(), before);
+  EXPECT_EQ(mgr.apply_not(f), nf);
+  EXPECT_EQ(mgr.allocated_nodes(), before);
+  // Involution is handle-identical, not just semantically equal.
+  EXPECT_EQ(nnf, f);
+  EXPECT_EQ(nnf.index(), f.index());
+  // f and !f share every node: same node_count, complementary attribute.
+  EXPECT_EQ(nf.node_count(), f.node_count());
+  EXPECT_NE(nf.complemented(), f.complemented());
+}
+
+TEST(BddComplement, ExcludedMiddleIsConstant) {
+  BddManager mgr(8);
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = fixtures::random_bdd(mgr, rng, 4, 8);
+    EXPECT_TRUE((f ^ !f).is_true());
+    EXPECT_TRUE((f | !f).is_true());
+    EXPECT_TRUE((f & !f).is_false());
+    EXPECT_TRUE(f.implies(f));
+  }
+}
+
+TEST(BddComplement, ConstantsAreComplementsOfEachOther) {
+  BddManager mgr(2);
+  EXPECT_EQ(!mgr.bdd_true(), mgr.bdd_false());
+  EXPECT_EQ(!mgr.bdd_false(), mgr.bdd_true());
+  // One shared terminal: negating a constant allocates nothing.
+  EXPECT_EQ(mgr.allocated_nodes(), 1u);
+}
+
+TEST(BddComplement, NVarAllocatesNothing) {
+  BddManager mgr(4);
+  mgr.var(2);
+  const std::size_t before = mgr.allocated_nodes();
+  const Bdd neg = mgr.nvar(2);
+  EXPECT_EQ(mgr.allocated_nodes(), before);
+  EXPECT_EQ(neg, !mgr.var(2));
+}
+
+TEST(BddComplement, NoComplementedThenEdgeAfterOpBattery) {
+  // Drive every operation family, then sweep the whole unique table and
+  // assert the canonical-form invariants (no complemented THEN edge, no
+  // redundant node, children strictly below) on every resident node.
+  BddManager mgr(10);
+  Rng rng(7777);
+  Bdd acc = mgr.bdd_false();
+  for (int i = 0; i < 10; ++i) {
+    const Bdd f = fixtures::random_bdd(mgr, rng, 4, 10);
+    const Bdd g = fixtures::random_bdd(mgr, rng, 4, 10);
+    const Bdd cube = mgr.make_cube({1, 4, 7});
+    acc |= mgr.and_exists(f, g, cube);
+    acc ^= mgr.forall(f | g, cube);
+    acc = mgr.ite(f, acc, !acc);
+    acc = mgr.compose(acc, 3, g);
+    acc = mgr.cofactor(acc, 5, rng.flip());
+  }
+  const std::size_t checked = mgr.validate_canonical();
+  EXPECT_GE(checked, acc.node_count() - 1);  // everything live is resident
+  // The invariants survive garbage collection (the sweep rebuilds chains).
+  mgr.collect_garbage();
+  mgr.validate_canonical();
+}
+
+TEST(BddComplement, CacheCountersAdvance) {
+  BddManager mgr(8);
+  Rng rng(31);
+  EXPECT_EQ(mgr.cache_lookups(), 0u);
+  Bdd acc = mgr.bdd_false();
+  for (int i = 0; i < 6; ++i) acc |= fixtures::random_bdd(mgr, rng, 4, 8);
+  // Repeat an identical operation: the second round must hit.
+  const Bdd f = fixtures::random_bdd(mgr, rng, 4, 8);
+  const Bdd g = fixtures::random_bdd(mgr, rng, 4, 8);
+  (void)(f & g);
+  const std::size_t hits_before = mgr.cache_hits();
+  (void)(f & g);
+  EXPECT_GT(mgr.cache_hits(), hits_before);
+  EXPECT_GE(mgr.cache_lookups(), mgr.cache_hits());
+  EXPECT_GT(mgr.unique_load(), 0.0);
+  // Complement normalization: AND over complemented operands reuses the
+  // same cache lines (the not-variant costs no fresh misses beyond the
+  // first level of recursion).
+  const std::size_t lookups_before = mgr.cache_lookups();
+  const Bdd a = !((!f) | (!g));  // De Morgan spelling of f & g
+  EXPECT_EQ(a, f & g);
+  EXPECT_GT(mgr.cache_lookups(), lookups_before);
 }
 
 TEST(BddManagerTest, GarbageCollectionKeepsLiveNodes) {

@@ -72,27 +72,29 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(BddGolden, SeededFunctionNodeCounts) {
   // Disjunction of eight seeded random functions over 12 variables: the
   // unique-table contents after construction are a function of the node
-  // hashing and reduction rules only.
+  // hashing, reduction and complement-canonicalization rules only.  (The
+  // same build cost 1278 nodes before complemented edges.)
   BddManager mgr(12);
   Rng rng(2024);
   Bdd acc = mgr.bdd_false();
   for (int i = 0; i < 8; ++i) acc |= fixtures::random_bdd(mgr, rng, 4, 12);
-  EXPECT_EQ(mgr.allocated_nodes(), 1278u);
-  EXPECT_EQ(mgr.peak_nodes(), 1278u);
+  EXPECT_EQ(mgr.allocated_nodes(), 1156u);
+  EXPECT_EQ(mgr.peak_nodes(), 1156u);
   EXPECT_EQ(mgr.gc_count(), 0u);
 }
 
 TEST(BddGolden, FreshManagerBaseline) {
-  // A fresh manager owns exactly the two terminal nodes; single-literal
-  // nodes are created lazily on first var() use.
+  // A fresh manager owns exactly the single terminal node (TRUE; FALSE is
+  // its complemented edge); single-literal nodes are created lazily on
+  // first var() use, and nvar shares var's node through a complement.
   BddManager mgr(8);
-  EXPECT_EQ(mgr.allocated_nodes(), 2u);
+  EXPECT_EQ(mgr.allocated_nodes(), 1u);
   mgr.var(0);
-  EXPECT_EQ(mgr.allocated_nodes(), 3u);
+  EXPECT_EQ(mgr.allocated_nodes(), 2u);
   mgr.var(0);  // cached: no new node
-  EXPECT_EQ(mgr.allocated_nodes(), 3u);
-  mgr.nvar(0);
-  EXPECT_EQ(mgr.allocated_nodes(), 4u);
+  EXPECT_EQ(mgr.allocated_nodes(), 2u);
+  mgr.nvar(0);  // a complemented edge: still no new node
+  EXPECT_EQ(mgr.allocated_nodes(), 2u);
 }
 
 TEST(BddGolden, CssgPeakNodesOnFixtures) {
@@ -104,11 +106,11 @@ TEST(BddGolden, CssgPeakNodesOnFixtures) {
     std::size_t k;
     std::size_t peak;
   };
-  for (const Row& row : {Row{fixtures::fig1a, 20, 1578},
-                         Row{fixtures::fig1b, 20, 1546},
-                         Row{fixtures::celem, 20, 225},
-                         Row{fixtures::async_latch, 20, 228},
-                         Row{fixtures::pipeline2, 24, 1031}}) {
+  for (const Row& row : {Row{fixtures::fig1a, 20, 1417},
+                         Row{fixtures::fig1b, 20, 1363},
+                         Row{fixtures::celem, 20, 184},
+                         Row{fixtures::async_latch, 20, 182},
+                         Row{fixtures::pipeline2, 24, 910}}) {
     const fixtures::Circuit fix = row.make();
     CssgOptions options;
     options.k = row.k;
@@ -131,12 +133,12 @@ TEST(BddGolden, PostSiftNodeCountsOnFixtures) {
     std::size_t k;
     std::size_t before, after;
   };
-  for (const Row& row : {Row{"fig1a", fixtures::fig1a, 20, 233, 204},
-                         Row{"fig1b", fixtures::fig1b, 20, 229, 200},
-                         Row{"chain", fixtures::chain, 20, 49, 49},
-                         Row{"celem", fixtures::celem, 20, 60, 60},
-                         Row{"latch", fixtures::async_latch, 20, 58, 50},
-                         Row{"pipeline2", fixtures::pipeline2, 24, 189, 173}}) {
+  for (const Row& row : {Row{"fig1a", fixtures::fig1a, 20, 229, 199},
+                         Row{"fig1b", fixtures::fig1b, 20, 223, 196},
+                         Row{"chain", fixtures::chain, 20, 45, 45},
+                         Row{"celem", fixtures::celem, 20, 54, 54},
+                         Row{"latch", fixtures::async_latch, 20, 53, 47},
+                         Row{"pipeline2", fixtures::pipeline2, 24, 181, 168}}) {
     const fixtures::Circuit fix = row.make();
     CssgOptions options;
     options.k = row.k;

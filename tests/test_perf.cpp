@@ -1,0 +1,261 @@
+// Perf-harness suite: corpus shape, record determinism, JSON round-trip,
+// and the regression comparator the CI perf gate runs (xatpg bench-compare).
+#include "perf/perf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+#include "xatpg/session.hpp"
+
+namespace xatpg::perf {
+namespace {
+
+CorpusEntry entry_by_id(const std::string& id) {
+  for (CorpusEntry& entry : default_corpus())
+    if (entry.id == id) return entry;
+  ADD_FAILURE() << "corpus entry '" << id << "' not found";
+  return {};
+}
+
+TEST(PerfCorpus, DefaultCorpusCoversAllFamilies) {
+  const std::vector<CorpusEntry> corpus = default_corpus();
+  std::set<std::string> ids;
+  std::size_t si = 0, bd = 0, rand = 0, bench = 0;
+  for (const CorpusEntry& entry : corpus) {
+    EXPECT_TRUE(ids.insert(entry.id).second) << "duplicate id " << entry.id;
+    switch (entry.kind) {
+      case CorpusEntry::Kind::SiBenchmark: ++si; break;
+      case CorpusEntry::Kind::BdBenchmark: ++bd; break;
+      case CorpusEntry::Kind::RandomNetlist: ++rand; break;
+      case CorpusEntry::Kind::BenchText: ++bench; break;
+    }
+  }
+  // Full named corpus (both synthesis styles) + seeded families + .bench.
+  EXPECT_EQ(si, 24u);
+  EXPECT_EQ(bd, 9u);
+  EXPECT_GE(rand, 4u);
+  EXPECT_GE(bench, 3u);
+}
+
+TEST(PerfRun, RecordsAreDeterministicWhereTheGateLooks) {
+  // Everything bench-compare gates on — coverage and node counts — must be
+  // bit-identical across runs; only cpu_ms may differ.
+  const CorpusEntry entry = entry_by_id("bench/parity5");
+  const CircuitRecord a = run_entry(entry, AtpgOptions{});
+  const CircuitRecord b = run_entry(entry, AtpgOptions{});
+  EXPECT_EQ(a.faults_total, b.faults_total);
+  EXPECT_EQ(a.faults_covered, b.faults_covered);
+  EXPECT_EQ(a.sequences, b.sequences);
+  EXPECT_EQ(a.peak_nodes, b.peak_nodes);
+  EXPECT_EQ(a.live_nodes, b.live_nodes);
+  EXPECT_EQ(a.post_sift_nodes, b.post_sift_nodes);
+  EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  // And the record is populated, not a pile of zeros.
+  EXPECT_GT(a.faults_total, 0u);
+  EXPECT_GT(a.faults_covered, 0u);
+  EXPECT_GT(a.peak_nodes, 0u);
+  EXPECT_GT(a.cache_lookups, a.cache_hits);
+  EXPECT_GT(a.cache_hit_rate, 0.0);
+  EXPECT_LE(a.post_sift_nodes, a.live_nodes);
+  EXPECT_GT(a.cpu_ms, 0.0);
+}
+
+TEST(PerfRun, RandomFamilyEntryRunsThroughSessionFacade) {
+  const CorpusEntry entry = entry_by_id("rand/s11");
+  const CircuitRecord record = run_entry(entry, AtpgOptions{});
+  EXPECT_GT(record.signals, entry.rand_inputs);
+  EXPECT_GT(record.faults_total, 0u);
+  EXPECT_GT(record.peak_nodes, 0u);
+}
+
+TEST(PerfRun, SessionFromBenchParsesAndRejects) {
+  const CorpusEntry c17 = entry_by_id("bench/c17");
+  const Expected<Session> ok = Session::from_bench(c17.text);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->num_inputs(), 5u);
+  EXPECT_EQ(ok->num_outputs(), 2u);
+
+  const Expected<Session> dff =
+      Session::from_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n");
+  ASSERT_FALSE(dff.has_value());
+  EXPECT_EQ(dff.error().code, ErrorCode::ParseError);
+}
+
+TEST(PerfJson, RoundTripPreservesEveryGatedField) {
+  std::vector<CorpusEntry> corpus{entry_by_id("bench/parity5"),
+                                  entry_by_id("bench/c17")};
+  const BenchRecord record =
+      run_corpus(corpus, AtpgOptions{}, "unit-\"host\"\n");
+  const BenchRecord parsed = parse_record(to_json(record));
+  EXPECT_EQ(parsed.schema, record.schema);
+  EXPECT_EQ(parsed.kernel, record.kernel);
+  EXPECT_EQ(parsed.host, record.host);  // escaping round-trips
+  EXPECT_EQ(parsed.threads, record.threads);
+  ASSERT_EQ(parsed.circuits.size(), record.circuits.size());
+  for (std::size_t i = 0; i < parsed.circuits.size(); ++i) {
+    const CircuitRecord& a = record.circuits[i];
+    const CircuitRecord& b = parsed.circuits[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.faults_total, b.faults_total);
+    EXPECT_EQ(a.faults_covered, b.faults_covered);
+    EXPECT_EQ(a.peak_nodes, b.peak_nodes);
+    EXPECT_EQ(a.live_nodes, b.live_nodes);
+    EXPECT_EQ(a.post_sift_nodes, b.post_sift_nodes);
+    EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_NEAR(a.cpu_ms, b.cpu_ms, 1e-3);
+    EXPECT_NEAR(a.coverage, b.coverage, 1e-9);
+  }
+}
+
+TEST(PerfJson, MalformedRecordsThrowLoudly) {
+  EXPECT_THROW(parse_record(""), CheckError);
+  EXPECT_THROW(parse_record("[]"), CheckError);
+  EXPECT_THROW(parse_record("{\"schema\": 1}"), CheckError);  // no circuits
+  EXPECT_THROW(parse_record("{\"circuits\": []}"), CheckError);  // no schema
+  EXPECT_THROW(parse_record("{\"schema\": 1, \"circuits\": [{}]}"),
+               CheckError);  // circuit without id
+  EXPECT_THROW(parse_record("{\"schema\": 1, \"circuits\": [1]}"), CheckError);
+  EXPECT_THROW(parse_record("{bad json"), CheckError);
+  EXPECT_THROW(parse_record("{\"schema\": 1, \"circuits\": []} trailing"),
+               CheckError);
+}
+
+// --- comparator ---------------------------------------------------------------
+
+BenchRecord tiny_record() {
+  BenchRecord record;
+  record.host = "ci";
+  record.threads = 1;
+  CircuitRecord a;
+  a.id = "si/alpha";
+  a.faults_total = 20;
+  a.faults_covered = 18;
+  a.peak_nodes = 1000;
+  a.cpu_ms = 100;
+  CircuitRecord b;
+  b.id = "bd/beta";
+  b.faults_total = 30;
+  b.faults_covered = 30;
+  b.peak_nodes = 4000;
+  b.cpu_ms = 10;  // below the per-circuit CPU floor
+  record.circuits = {a, b};
+  return record;
+}
+
+TEST(PerfCompare, IdenticalRecordsPass) {
+  const BenchRecord record = tiny_record();
+  const Comparison comparison = compare(record, record);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(comparison.failures.empty());
+}
+
+TEST(PerfCompare, CoverageDropFails) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord current = baseline;
+  current.circuits[0].faults_covered = 17;
+  const Comparison comparison = compare(baseline, current);
+  EXPECT_FALSE(comparison.ok);
+  ASSERT_EQ(comparison.failures.size(), 1u);
+  EXPECT_NE(comparison.failures[0].find("coverage dropped"),
+            std::string::npos);
+}
+
+TEST(PerfCompare, CoverageGainIsANote) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord current = baseline;
+  current.circuits[0].faults_covered = 20;
+  const Comparison comparison = compare(baseline, current);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_FALSE(comparison.notes.empty());
+}
+
+TEST(PerfCompare, NodeRegressionBeyondBoundFails) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord current = baseline;
+  current.circuits[0].peak_nodes = 1251;  // > 1000 * 1.25
+  EXPECT_FALSE(compare(baseline, current).ok);
+  current.circuits[0].peak_nodes = 1250;  // exactly at the bound: passes
+  EXPECT_TRUE(compare(baseline, current).ok);
+}
+
+TEST(PerfCompare, CpuGatesOnlyFireOnMatchingHostTags) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord current = baseline;
+  current.circuits[0].cpu_ms = 1000;  // 10x the baseline, above the floor
+  EXPECT_FALSE(compare(baseline, current).ok);
+
+  // Different host tag: CPU is not comparable; nodes/coverage still gate.
+  current.host = "laptop";
+  const Comparison skipped = compare(baseline, current);
+  EXPECT_TRUE(skipped.ok);
+  EXPECT_TRUE(std::any_of(
+      skipped.notes.begin(), skipped.notes.end(), [](const std::string& n) {
+        return n.find("CPU gates skipped") != std::string::npos;
+      }));
+
+  // Sub-floor circuits never CPU-gate even on the same host.
+  BenchRecord slow_small = baseline;
+  slow_small.circuits[1].cpu_ms = 24;  // 2.4x but baseline is 10 ms < floor
+  EXPECT_TRUE(compare(baseline, slow_small).ok);
+}
+
+TEST(PerfCompare, MissingCircuitAndChangedUniverseFail) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord missing = baseline;
+  missing.circuits.pop_back();
+  EXPECT_FALSE(compare(baseline, missing).ok);
+
+  BenchRecord changed = baseline;
+  changed.circuits[0].faults_total = 22;
+  const Comparison comparison = compare(baseline, changed);
+  EXPECT_FALSE(comparison.ok);
+  EXPECT_NE(comparison.failures[0].find("fault universe changed"),
+            std::string::npos);
+}
+
+TEST(PerfCompare, NewCircuitsAreNotesNotFailures) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord current = baseline;
+  CircuitRecord extra;
+  extra.id = "bench/extra";
+  extra.faults_total = 4;
+  extra.faults_covered = 4;
+  extra.peak_nodes = 10;
+  current.circuits.push_back(extra);
+  const Comparison comparison = compare(baseline, current);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(std::any_of(
+      comparison.notes.begin(), comparison.notes.end(),
+      [](const std::string& n) {
+        return n.find("bench/extra") != std::string::npos;
+      }));
+}
+
+TEST(PerfCompare, TotalCpuGateCatchesDeathByAThousandCuts) {
+  // Every circuit individually under the per-circuit radar (below floor or
+  // under the bound), but the corpus total blows the budget.
+  BenchRecord baseline = tiny_record();
+  baseline.circuits[0].cpu_ms = 100;
+  baseline.circuits[1].cpu_ms = 100;
+  BenchRecord current = baseline;
+  current.circuits[0].cpu_ms = 124;  // under 25% individually
+  current.circuits[1].cpu_ms = 130;  // over, but paired with the other...
+  const Comparison comparison = compare(baseline, current);
+  // 254 vs 200 total = +27% > 25%: the total gate fires even though the
+  // second circuit alone would also have fired — assert the total message
+  // exists so the aggregate path is covered.
+  EXPECT_FALSE(comparison.ok);
+  EXPECT_TRUE(std::any_of(
+      comparison.failures.begin(), comparison.failures.end(),
+      [](const std::string& f) {
+        return f.find("total CPU regressed") != std::string::npos;
+      }));
+}
+
+}  // namespace
+}  // namespace xatpg::perf

@@ -106,6 +106,27 @@ TEST_P(ReorderProperty, RepeatedSiftCyclesAreMonotoneAndStable) {
   EXPECT_LE(mgr.sift().size_after, last);
 }
 
+TEST_P(ReorderProperty, SiftPreservesComplementEdgeCanonicity) {
+  // swap_adjacent_levels restructures nodes in place; every table-resident
+  // node (live or dead) must keep the no-complemented-THEN-edge canonical
+  // form at every stage, or structural equality would silently stop being
+  // function equality.
+  std::vector<Bdd> funcs;
+  for (int i = 0; i < 6; ++i) funcs.push_back(random_function(4));
+  funcs.push_back((!funcs[0]) | funcs[1]);
+  funcs.push_back(mgr.ite(funcs[2], !funcs[3], funcs[4]));
+  mgr.validate_canonical();
+  mgr.sift();
+  mgr.validate_canonical();
+  // Also after an explicit reversal (maximal swap churn) and a GC.
+  std::vector<std::uint32_t> reversed(kVars);
+  for (std::uint32_t v = 0; v < kVars; ++v) reversed[v] = kVars - 1 - v;
+  mgr.reorder_to(reversed);
+  mgr.validate_canonical();
+  mgr.collect_garbage();
+  mgr.validate_canonical();
+}
+
 TEST_P(ReorderProperty, ExplicitPermutationsPreserveSemantics) {
   const auto assignments = random_assignments(GetParam() * 13 + 3, kVars, 96);
   Bdd f = random_function(5);

@@ -1,20 +1,31 @@
-// xatpg — command-line front end of the library, driven exclusively through
-// the installed public API (include/xatpg; no src/ internals), which makes
-// it a living proof that the facade is complete.
+// xatpg — command-line front end of the library.  The circuit commands
+// (run/cssg/export) are driven exclusively through the installed public API
+// (include/xatpg; no src/ internals), which makes them a living proof that
+// the facade is complete; the perf commands (bench/bench-compare)
+// additionally link the in-tree corpus harness (src/perf), which itself
+// drives every circuit through the same Session facade.
 //
-//   xatpg run    --circuit <name|file.xnl> [--style si|bd]
+//   xatpg run    --circuit <name|file.xnl|file.bench> [--style si|bd]
 //                [--faults input|output|both] [--threads N] [--seed N]
 //                [--k N] [--random-budget N] [--reorder] [--classify]
 //                [--progress] [--json]
 //   xatpg cssg   --circuit ... [--json | --dot] [--out FILE]
 //   xatpg export --circuit ... [--out FILE] [run flags]
+//   xatpg bench  [--threads N] [--seed N] [--reorder] [--filter SUBSTR]
+//                [--host TAG] [--json] [--out FILE]
+//   xatpg bench-compare BASELINE.json CURRENT.json
+//                [--max-regress PCT] [--min-cpu-ms MS]
 //
 // `run --json` emits the paper's table columns (tot/cov per universe,
 // rnd/3-ph/sim, BDD node accounting, CPU time) as a single JSON object.
+// `bench --json` emits the versioned perf record (see src/perf/perf.hpp);
+// `bench-compare` diffs two records and exits 1 on any regression — the CI
+// perf gate is exactly this command against bench/baseline.json.
 // Typed errors (xatpg::Error) print to stderr and exit 1; usage errors
 // exit 2.
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -22,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "perf/perf.hpp"
+#include "util/check.hpp"
 #include "xatpg/xatpg.hpp"
 
 namespace {
@@ -30,16 +43,19 @@ using namespace xatpg;
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " <command> --circuit <name|file.xnl> [flags]\n"
+      << "usage: " << argv0 << " <command> [flags]\n"
       << "\n"
       << "commands:\n"
       << "  run     full ATPG flow (random TPG -> 3-phase -> fault sim)\n"
       << "  cssg    CSSG abstraction statistics (--dot for graphviz)\n"
       << "  export  generate and print the synchronous test program\n"
+      << "  bench   run the perf corpus; --json emits the versioned record\n"
+      << "  bench-compare BASELINE CURRENT   diff two records; exit 1 on\n"
+      << "          coverage drop or node/CPU regression (the CI perf gate)\n"
       << "\n"
       << "flags:\n"
       << "  --circuit X        benchmark name (chu150, ebergen, fig1a, ...)\n"
-      << "                     or a .xnl netlist file path\n"
+      << "                     or a .xnl / .bench netlist file path\n"
       << "  --style si|bd      speed-independent (default) or bounded-delay\n"
       << "  --faults F         input|output|both (run default: both;\n"
       << "                     export default: input)\n"
@@ -52,7 +68,14 @@ int usage(const char* argv0) {
       << "  --progress         stream phase/progress events to stderr\n"
       << "  --json             machine-readable output\n"
       << "  --dot              cssg: graphviz dump instead of statistics\n"
-      << "  --out FILE         write output to FILE instead of stdout\n";
+      << "  --out FILE         write output to FILE instead of stdout\n"
+      << "  --filter SUBSTR    bench: only corpus ids containing SUBSTR\n"
+      << "  --host TAG         bench: host tag stored in the record (CPU\n"
+      << "                     gates only fire between equal tags; default\n"
+      << "                     $XATPG_BENCH_HOST)\n"
+      << "  --max-regress PCT  bench-compare: node/CPU bound (default 25)\n"
+      << "  --min-cpu-ms MS    bench-compare: per-circuit CPU gate floor\n"
+      << "                     (default 25)\n";
   return 2;
 }
 
@@ -65,6 +88,11 @@ struct CliArgs {
   bool dot = false;
   bool progress = false;
   std::string out;
+  std::string filter;                  ///< bench: corpus id substring
+  std::string host;                    ///< bench: record host tag
+  double max_regress = 0.25;           ///< bench-compare: node/CPU bound
+  double min_cpu_ms = 25.0;            ///< bench-compare: CPU gate floor
+  std::vector<std::string> positional; ///< bench-compare: the two records
   AtpgOptions options;
 };
 
@@ -87,10 +115,13 @@ std::optional<std::uint64_t> parse_u64(const std::string& text,
 bool parse_args(int argc, char** argv, CliArgs& args) {
   args.command = argv[1];
   if (args.command != "run" && args.command != "cssg" &&
-      args.command != "export") {
+      args.command != "export" && args.command != "bench" &&
+      args.command != "bench-compare") {
     std::cerr << "unknown command '" << args.command << "'\n";
     return false;
   }
+  if (const char* host_env = std::getenv("XATPG_BENCH_HOST"))
+    args.host = host_env;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> std::optional<std::string> {
@@ -163,12 +194,37 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const auto v = value();
       if (!v) return false;
       args.out = *v;
+    } else if (flag == "--filter") {
+      const auto v = value();
+      if (!v) return false;
+      args.filter = *v;
+    } else if (flag == "--host") {
+      const auto v = value();
+      if (!v) return false;
+      args.host = *v;
+    } else if (flag == "--max-regress") {
+      const auto v = count(1000);
+      if (!v) return false;
+      args.max_regress = static_cast<double>(*v) / 100.0;
+    } else if (flag == "--min-cpu-ms") {
+      const auto v = count(1u << 30);
+      if (!v) return false;
+      args.min_cpu_ms = static_cast<double>(*v);
+    } else if (!flag.empty() && flag[0] != '-' &&
+               args.command == "bench-compare") {
+      args.positional.push_back(flag);
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       return false;
     }
   }
-  if (args.circuit.empty()) {
+  if (args.command == "bench-compare") {
+    if (args.positional.size() != 2) {
+      std::cerr << "bench-compare needs exactly two record files "
+                   "(baseline, current)\n";
+      return false;
+    }
+  } else if (args.command != "bench" && args.circuit.empty()) {
     std::cerr << "--circuit is required\n";
     return false;
   }
@@ -179,29 +235,16 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
 
 bool looks_like_file(const std::string& circuit) {
   return circuit.find('/') != std::string::npos ||
-         circuit.find(".xnl") != std::string::npos;
+         circuit.find(".xnl") != std::string::npos ||
+         circuit.find(".bench") != std::string::npos;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+bool looks_like_bench_file(const std::string& circuit) {
+  return circuit.size() >= 6 &&
+         circuit.compare(circuit.size() - 6, 6, ".bench") == 0;
 }
+
+using perf::json_escape;
 
 /// Stderr observer for --progress: phase transitions and a coarse heartbeat.
 class StderrObserver : public RunObserver {
@@ -303,7 +346,11 @@ int cmd_run(Session& session, const CliArgs& args, std::ostream& out) {
                 : "false")
         << ",\n  \"bdd\": {\"peak_nodes\": " << bdd.peak_nodes
         << ", \"live_nodes\": " << bdd.live_nodes
-        << ", \"reorders\": " << bdd.reorders << "}"
+        << ", \"reorders\": " << bdd.reorders
+        << ", \"cache_lookups\": " << bdd.cache_lookups
+        << ", \"cache_hits\": " << bdd.cache_hits
+        << ", \"cache_hit_rate\": " << bdd.cache_hit_rate()
+        << ", \"unique_load\": " << bdd.unique_load << "}"
         << ",\n  \"cpu_ms\": " << cpu_ms << "\n}\n";
   } else {
     out << "circuit '" << session.circuit_name() << "': "
@@ -313,7 +360,9 @@ int cmd_run(Session& session, const CliArgs& args, std::ostream& out) {
     if (out_result) print_universe_text(out, "output stuck-at", out_result->stats);
     if (in_result) print_universe_text(out, "input stuck-at", in_result->stats);
     out << "BDD: peak " << bdd.peak_nodes << " nodes, live " << bdd.live_nodes
-        << ", sift passes " << bdd.reorders << "\n";
+        << ", sift passes " << bdd.reorders << ", cache hit rate "
+        << 100.0 * bdd.cache_hit_rate() << "%, unique load "
+        << bdd.unique_load << "\n";
     out << "CPU: " << cpu_ms << " ms\n";
   }
   return 0;
@@ -349,6 +398,72 @@ int cmd_cssg(Session& session, const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_bench(const CliArgs& args, std::ostream& out) {
+  std::vector<perf::CorpusEntry> corpus = perf::default_corpus();
+  if (!args.filter.empty()) {
+    std::erase_if(corpus, [&](const perf::CorpusEntry& entry) {
+      return entry.id.find(args.filter) == std::string::npos;
+    });
+    if (corpus.empty()) {
+      std::cerr << "--filter '" << args.filter
+                << "' matches no corpus entry\n";
+      return 2;
+    }
+  }
+  try {
+    const perf::BenchRecord record =
+        perf::run_corpus(corpus, args.options, args.host, &std::cerr);
+    if (args.json) {
+      perf::write_json(record, out);
+    } else {
+      out << "corpus: " << record.circuits.size() << " circuits, "
+          << record.total_covered() << "/" << record.total_faults()
+          << " faults covered, " << record.total_peak_nodes()
+          << " summed peak nodes, " << record.total_cpu_ms() << " ms\n";
+    }
+  } catch (const CheckError& e) {
+    std::cerr << "xatpg bench: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_bench_compare(const CliArgs& args, std::ostream& out) {
+  const auto load = [](const std::string& path)
+      -> std::optional<perf::BenchRecord> {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open '" << path << "' for reading\n";
+      return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      return perf::parse_record(text.str());
+    } catch (const CheckError& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      return std::nullopt;
+    }
+  };
+  const auto baseline = load(args.positional[0]);
+  const auto current = load(args.positional[1]);
+  if (!baseline || !current) return 1;
+
+  perf::CompareOptions options;
+  options.max_node_regression = args.max_regress;
+  options.max_cpu_regression = args.max_regress;
+  options.min_cpu_ms = args.min_cpu_ms;
+  const perf::Comparison comparison = perf::compare(*baseline, *current, options);
+  for (const std::string& message : comparison.notes)
+    out << "note: " << message << "\n";
+  for (const std::string& message : comparison.failures)
+    out << "FAIL: " << message << "\n";
+  out << (comparison.ok ? "perf gate: OK (" : "perf gate: FAILED (")
+      << comparison.failures.size() << " failures, "
+      << comparison.notes.size() << " notes)\n";
+  return comparison.ok ? 0 : 1;
+}
+
 int cmd_export(Session& session, const CliArgs& args, std::ostream& out) {
   // --faults selects the exported universe; "both" concatenates the input
   // and output models into one run (default: input, the paper's program).
@@ -375,12 +490,6 @@ int main(int argc, char** argv) {
   CliArgs args;
   if (!parse_args(argc, argv, args)) return usage(argv[0]);
 
-  Expected<Session> session =
-      looks_like_file(args.circuit)
-          ? Session::from_xnl_file(args.circuit, args.options)
-          : Session::from_benchmark(args.circuit, args.style, args.options);
-  if (!session) return fail(session.error());
-
   std::ofstream file;
   if (!args.out.empty()) {
     file.open(args.out);
@@ -389,6 +498,17 @@ int main(int argc, char** argv) {
                         "cannot open '" + args.out + "' for writing"});
   }
   std::ostream& out = args.out.empty() ? std::cout : file;
+
+  if (args.command == "bench") return cmd_bench(args, out);
+  if (args.command == "bench-compare") return cmd_bench_compare(args, out);
+
+  Expected<Session> session =
+      looks_like_bench_file(args.circuit)
+          ? Session::from_bench_file(args.circuit, args.options)
+      : looks_like_file(args.circuit)
+          ? Session::from_xnl_file(args.circuit, args.options)
+          : Session::from_benchmark(args.circuit, args.style, args.options);
+  if (!session) return fail(session.error());
 
   if (args.command == "run") return cmd_run(*session, args, out);
   if (args.command == "cssg") return cmd_cssg(*session, args, out);
