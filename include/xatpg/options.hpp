@@ -62,14 +62,17 @@ struct AtpgOptions {
   std::uint64_t seed = 1;
   std::size_t diff_depth = 16;           ///< differentiation BFS depth
   std::size_t diff_node_cap = 20000;     ///< differentiation BFS nodes
-  /// Wall-clock budget per fault for the 3-phase search (the classic ATPG
-  /// backtrack limit, in time units): exceeded => fault left undetected.
-  /// NOTE: this is the one nondeterministic cap — under heavy load a search
-  /// can time out that otherwise would not.  The deterministic caps
-  /// (diff_depth / diff_node_cap) bind long before it on every shipped
-  /// benchmark; raise it when exercising the cross-thread determinism
-  /// guarantee under slow sanitizers.
-  double per_fault_seconds = 2.0;
+  /// Wall-clock FALLBACK budget per fault for the 3-phase search.  The
+  /// binding per-fault budget is deterministic — the differentiation BFS is
+  /// cut off by diff_depth / diff_node_cap, which depend only on (circuit,
+  /// options, fault) — so outcomes are byte-identical across machines,
+  /// load, and thread counts.  0 (the default) disables the wall clock
+  /// entirely.  A positive value arms a last-resort timeout for exploratory
+  /// runs with the deterministic caps raised: a search that trips it is
+  /// abandoned (fault left undetected, counted as gave_up) and the engine
+  /// logs a loud warning, because any run that trips it is machine-
+  /// dependent and its results must not be treated as reproducible.
+  double per_fault_seconds = 0;
   FaultSimOptions sim;
   /// Phase 1+2 enabled (ablation: false forces pure differentiation BFS
   /// from reset for every fault).
@@ -90,10 +93,11 @@ struct AtpgOptions {
 
   /// Boundary validation: rejects the degenerate values every layer above
   /// used to accept silently (k = 0 makes every vector "oscillate",
-  /// diff_depth = 0 disables phase 3 entirely, per_fault_seconds <= 0 times
-  /// every search out before it starts, threads > 4096 is a typo).  Returns
-  /// an OptionError listing *all* violations.  The Session facade calls
-  /// this for every run; AtpgEngine's constructor enforces it loudly.
+  /// diff_depth = 0 disables phase 3 entirely, per_fault_seconds < 0 or
+  /// NaN is meaningless — 0 means "wall clock disabled", threads > 4096 is
+  /// a typo).  Returns an OptionError listing *all* violations.  The
+  /// Session facade calls this for every run; AtpgEngine's constructor
+  /// enforces it loudly.
   Expected<void> validate() const;
 };
 

@@ -82,6 +82,9 @@ struct ShardBddStats {
   std::size_t faults_done = 0;  ///< 3-phase searches completed on this shard
   std::size_t cache_lookups = 0;  ///< computed-cache probes (cumulative)
   std::size_t cache_hits = 0;     ///< probes answered from the cache
+  /// Work blocks this shard's worker claimed by stealing from another
+  /// worker's deque (scheduler telemetry; results never depend on it).
+  std::size_t blocks_stolen = 0;
   /// Unique-table load factor (chained entries / buckets, in [0, 2];
   /// subtables double at 2).
   double unique_load = 0;

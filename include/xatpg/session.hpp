@@ -154,6 +154,14 @@ class Session {
   /// factor.
   ShardBddStats bdd_stats() const;
 
+  /// BDD accounting for EVERY built symbolic shard — shard 0 plus each
+  /// worker shard a multi-threaded run lazily constructed — including
+  /// per-shard 3-phase searches completed and work blocks stolen during the
+  /// most recent run.  Accounting that must not miss worker-shard activity
+  /// (e.g. total sifting passes across a parallel run) has to sum over this
+  /// rather than read bdd_stats() alone.
+  std::vector<ShardBddStats> shard_bdd_stats() const;
+
   /// Run one dynamic-reordering (sifting) pass on the engine's own symbolic
   /// context now, regardless of the session's ReorderPolicy, and return the
   /// live node count after the pass.  Results of past and future runs are

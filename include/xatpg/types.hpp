@@ -83,6 +83,13 @@ struct FaultOutcome {
   int sequence_index = -1;  ///< index into AtpgResult::sequences
   /// Proven undetectable by the a-priori classifier (covered_by == None).
   bool proven_redundant = false;
+  /// The 3-phase search for this fault was truncated by a resource cap
+  /// (BFS depth, node cap, simulator candidate cap, or the wall-clock
+  /// fallback) before exhausting the space, and no test was found.  False
+  /// for an uncovered fault means the search ran to completion — the fault
+  /// is genuinely untestable under the caps' search space, not a victim of
+  /// them.  Always false for covered or proven-redundant faults.
+  bool gave_up = false;
 
   bool operator==(const FaultOutcome&) const = default;
 };
@@ -95,6 +102,10 @@ struct AtpgStats {
   std::size_t by_fault_sim = 0;
   std::size_t undetected = 0;
   std::size_t proven_redundant = 0;
+  /// Undetected faults whose search was cap-truncated (see
+  /// FaultOutcome::gave_up).  undetected - gave_up - proven_redundant =
+  /// faults whose search space was exhausted without finding a test.
+  std::size_t gave_up = 0;
   double seconds = 0;
   double random_seconds = 0;
   double three_phase_seconds = 0;

@@ -28,9 +28,9 @@ Expected<void> AtpgOptions::validate() const {
   if (threads > kMaxThreads)
     reject("threads > 4096 (far beyond any machine this targets — almost "
            "certainly a typo; 0 means one worker per hardware thread)");
-  if (!(per_fault_seconds > 0) || std::isnan(per_fault_seconds))
-    reject("per_fault_seconds <= 0 (every 3-phase search would time out "
-           "before expanding a single state)");
+  if (per_fault_seconds < 0 || std::isnan(per_fault_seconds))
+    reject("per_fault_seconds < 0 or NaN (use 0 to disable the wall-clock "
+           "fallback, or a positive budget to arm it)");
   if (sim.k == 0)
     reject("sim.k = 0 (the fault simulator could never settle a test cycle)");
   if (sim.candidate_cap == 0)

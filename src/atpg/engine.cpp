@@ -51,6 +51,7 @@ struct AtpgEngine::ShardCounters {
   std::atomic<std::size_t> peak{0};
   std::atomic<std::size_t> reorders{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> steals{0};
   std::atomic<std::size_t> cache_lookups{0};
   std::atomic<std::size_t> cache_hits{0};
   /// Unique-table load factor, published as its raw bit pattern so the
@@ -64,7 +65,8 @@ namespace {
 /// only safe on the thread that owns the manager (the worker publishing its
 /// own shard, or the main thread reading its own context / idle shards).
 ShardBddStats snapshot_shard(std::size_t shard, const BddManager& mgr,
-                             std::size_t faults_done) {
+                             std::size_t faults_done,
+                             std::size_t blocks_stolen = 0) {
   ShardBddStats stats;
   stats.shard = shard;
   stats.live_nodes = mgr.allocated_nodes();
@@ -74,6 +76,7 @@ ShardBddStats snapshot_shard(std::size_t shard, const BddManager& mgr,
   stats.cache_lookups = mgr.cache_lookups();
   stats.cache_hits = mgr.cache_hits();
   stats.unique_load = mgr.unique_load();
+  stats.blocks_stolen = blocks_stolen;
   return stats;
 }
 
@@ -142,7 +145,10 @@ AtpgEngine::DiffResult AtpgEngine::differentiate(
 
   // Replay the (justification) prefix on the faulty circuit.
   FaultSimulator sim(*netlist_, fault, reset_state_, options_.sim);
-  if (sim.status() == DetectStatus::GaveUp) return result;
+  if (sim.status() == DetectStatus::GaveUp) {
+    result.truncated = true;  // candidate cap blew at reset — nothing proven
+    return result;
+  }
   const auto path = follow(prefix);
   if (!path) return result;
   TestSequence applied;
@@ -157,7 +163,10 @@ AtpgEngine::DiffResult AtpgEngine::differentiate(
       result.sequence = applied;
       return result;
     }
-    if (status == DetectStatus::GaveUp) return result;
+    if (status == DetectStatus::GaveUp) {
+      result.truncated = true;
+      return result;
+    }
   }
 
   // Phase 3: breadth-first search over valid vectors for the shortest
@@ -175,19 +184,44 @@ AtpgEngine::DiffResult AtpgEngine::differentiate(
   queue.push_back(Node{path->back(), sim.snapshot(), {}});
   visited.insert(key_of(path->back(), sim.candidates_key()));
 
+  // The per-fault budget is the DETERMINISTIC pair diff_depth /
+  // diff_node_cap — both depend only on (circuit, options, fault), never on
+  // machine speed, load, or scheduling, which is what makes outcomes
+  // byte-identical across hosts and thread counts.  per_fault_seconds > 0
+  // additionally arms a wall-clock fallback for exploratory runs with the
+  // deterministic caps raised; tripping it is loudly logged because that
+  // run's results are machine-dependent.
   std::size_t expanded = 0;
   Timer budget_timer;
   while (!queue.empty()) {
     const Node node = std::move(queue.front());
     queue.pop_front();
-    if (node.suffix.size() >= options_.diff_depth) continue;
-    if (budget_timer.seconds() > options_.per_fault_seconds) return result;
+    if (node.suffix.size() >= options_.diff_depth) {
+      result.truncated = true;  // deeper extensions exist but are unexplored
+      continue;
+    }
+    if (options_.per_fault_seconds > 0 &&
+        budget_timer.seconds() > options_.per_fault_seconds) {
+      XATPG_WARN("per-fault wall-clock fallback ("
+                 << options_.per_fault_seconds << "s) tripped after "
+                 << expanded
+                 << " expansions — this outcome is machine-dependent; raise "
+                    "per_fault_seconds (or set 0) for reproducible results");
+      result.truncated = true;
+      return result;
+    }
     for (const auto& edge : graph_.edges[node.good_id]) {
-      if (++expanded > options_.diff_node_cap) return result;
+      if (++expanded > options_.diff_node_cap) {
+        result.truncated = true;
+        return result;
+      }
       sim.restore(node.sim_state);
       const DetectStatus status =
           sim.step(edge.pattern, graph_.states[edge.to]);
-      if (status == DetectStatus::GaveUp) continue;
+      if (status == DetectStatus::GaveUp) {
+        result.truncated = true;  // this branch is abandoned, not refuted
+        continue;
+      }
       auto suffix = node.suffix;
       suffix.push_back(edge.pattern);
       if (status == DetectStatus::Detected) {
@@ -222,7 +256,7 @@ bool AtpgEngine::provably_redundant(const Fault& fault) const {
   return provably_redundant_on(*cssg_, fault);
 }
 
-std::optional<TestSequence> AtpgEngine::generate_test_on(
+AtpgEngine::SearchOutcome AtpgEngine::generate_test_on(
     const Cssg& shard, const Fault& fault) const {
   // Phase 1 — fault activation (§5.1): stable, valid-vector-reachable
   // states in which the faulted line carries the opposite of its stuck
@@ -251,20 +285,26 @@ std::optional<TestSequence> AtpgEngine::generate_test_on(
     // (§5.1's "left directly to the last phase").
   }
 
+  bool truncated = false;
   if (have_prefix) {
     const DiffResult with_prefix = differentiate(fault, prefix);
-    if (with_prefix.found) return with_prefix.sequence;
+    if (with_prefix.found) return SearchOutcome{with_prefix.sequence, false};
+    truncated = with_prefix.truncated;
   }
   // Fall back to a full differentiation search from reset: complete within
   // the caps, subsumes any choice of activation state.
   const DiffResult from_reset = differentiate(fault, TestSequence{});
-  if (from_reset.found) return from_reset.sequence;
-  return std::nullopt;
+  if (from_reset.found) return SearchOutcome{from_reset.sequence, false};
+  // No test.  "Gave up" iff any cap truncated either search — an
+  // untruncated exhaustion means the fault really has no test within the
+  // caps' full space (redundant-in-practice), which bench coverage floors
+  // must not confuse with a cap blowout.
+  return SearchOutcome{std::nullopt, truncated || from_reset.truncated};
 }
 
 std::optional<TestSequence> AtpgEngine::generate_test(
     const Fault& fault) const {
-  return generate_test_on(*cssg_, fault);
+  return generate_test_on(*cssg_, fault).sequence;
 }
 
 // ---------------------------------------------------------------------------
@@ -275,17 +315,17 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
                                    const std::vector<std::size_t>& todo,
                                    const CancelToken* cancel,
                                    RunObserver* observer,
-                                   const std::function<RunProgress()>& make_base,
-                                   std::vector<std::size_t>& shard_done) {
+                                   const std::function<RunProgress()>& make_base) {
   const std::size_t workers =
       std::min(resolved_threads(options_.threads),
                todo.empty() ? std::size_t{1} : todo.size());
-  if (shard_done.size() < workers) shard_done.resize(workers, 0);
+  if (shard_done_.size() < workers) shard_done_.resize(workers, 0);
+  if (shard_steals_.size() < workers) shard_steals_.resize(workers, 0);
 
   // Results land here first (slot per fault index, written by exactly one
   // worker) and are memoized after the join: the cache is not touched from
   // worker threads.
-  std::vector<std::optional<TestSequence>> generated(faults.size());
+  std::vector<SearchOutcome> generated(faults.size());
   std::vector<char> attempted(faults.size(), 0);
 
   if (workers <= 1) {
@@ -293,14 +333,19 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
       if (cancel_fired(cancel)) break;
       generated[i] = generate_test_on(*cssg_, faults[i]);
       attempted[i] = 1;
-      ++shard_done[0];
+      ++shard_done_[0];
     }
   } else {
-    // Workers claim coarse blocks of fault indices; each block is processed
-    // on the worker's private shard.  Writing generated[i] is race-free:
-    // every index is claimed by exactly one block.
-    ChunkedWorkQueue<std::size_t> queue(
-        todo, work_block_size(todo.size(), workers));
+    // Work-stealing fan-out: the batch is pre-split into coarse blocks of
+    // fault indices dealt out across per-worker deques; a worker drains its
+    // own deque first and steals whole blocks from a victim once dry, so a
+    // whale fault pinning one worker donates that worker's untouched blocks
+    // instead of stranding them.  Each block is processed on the claiming
+    // worker's private shard.  Writing generated[i] is race-free: every
+    // index is claimed by exactly one block, every block by exactly one
+    // worker (the queue's single-CAS claim).
+    StealingWorkQueue<std::size_t> queue(
+        todo, work_block_size(todo.size(), workers), workers);
     if (extra_shards_.size() < workers - 1) extra_shards_.resize(workers - 1);
     std::vector<ShardCounters> counters(workers);
     std::vector<std::exception_ptr> errors(workers);
@@ -312,9 +357,11 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
             // Claim a block before (lazily) building the shard: a worker
             // that never gets work must not pay for a full symbolic
             // construction.
-            while (const auto block = queue.pop_block()) {
+            while (const auto block = queue.pop_block(w)) {
               if (!extra_shards_[w - 1]) extra_shards_[w - 1] = build_shard();
               const Cssg& shard = *extra_shards_[w - 1];
+              counters[w].steals.store(queue.steals(w),
+                                       std::memory_order_relaxed);
               for (const std::size_t i : *block) {
                 if (cancel_fired(cancel)) return;
                 generated[i] = generate_test_on(shard, faults[i]);
@@ -346,7 +393,7 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
       // workers' published counters (observer contract: callbacks fire on
       // the calling thread only).
       try {
-        while (const auto block = queue.pop_block()) {
+        while (const auto block = queue.pop_block(0)) {
           for (const std::size_t i : *block) {
             if (cancel_fired(cancel)) break;
             generated[i] = generate_test_on(*cssg_, faults[i]);
@@ -357,8 +404,9 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
             RunProgress progress = make_base();
             progress.shards.push_back(snapshot_shard(
                 0, cssg_->encoding().mgr(),
-                shard_done[0] +
-                    counters[0].done.load(std::memory_order_relaxed)));
+                shard_done_[0] +
+                    counters[0].done.load(std::memory_order_relaxed),
+                shard_steals_[0] + queue.steals(0)));
             for (std::size_t w = 1; w < workers; ++w) {
               ShardBddStats stats;
               stats.shard = w;
@@ -369,7 +417,7 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
               stats.reorders =
                   counters[w].reorders.load(std::memory_order_relaxed);
               stats.faults_done =
-                  shard_done[w] +
+                  shard_done_[w] +
                   counters[w].done.load(std::memory_order_relaxed);
               stats.cache_lookups =
                   counters[w].cache_lookups.load(std::memory_order_relaxed);
@@ -377,6 +425,9 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
                   counters[w].cache_hits.load(std::memory_order_relaxed);
               stats.unique_load = bits_to_double(
                   counters[w].unique_load_bits.load(std::memory_order_relaxed));
+              stats.blocks_stolen =
+                  shard_steals_[w] +
+                  counters[w].steals.load(std::memory_order_relaxed);
               progress.shards.push_back(stats);
             }
             observer->on_progress(progress);
@@ -391,15 +442,35 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
     for (const std::exception_ptr& error : errors)
       if (error) std::rethrow_exception(error);
     // Fold this batch's per-shard completions into the run-level totals so
-    // snapshots emitted after the join keep reporting them.
-    for (std::size_t w = 0; w < workers; ++w)
-      shard_done[w] += counters[w].done.load(std::memory_order_relaxed);
+    // snapshots emitted after the join keep reporting them.  Steal counts
+    // come straight from the queue — exact after the join.
+    for (std::size_t w = 0; w < workers; ++w) {
+      shard_done_[w] += counters[w].done.load(std::memory_order_relaxed);
+      shard_steals_[w] += queue.steals(w);
+    }
   }
 
   // Memoize completed searches (single-threaded again).  Faults skipped by
   // a fired CancelToken stay unmemoized and are attempted by a later run.
   for (const std::size_t i : todo)
     if (attempted[i]) generated_cache_.emplace(faults[i], std::move(generated[i]));
+}
+
+std::vector<ShardBddStats> AtpgEngine::shard_bdd_stats() const {
+  const auto count_of = [](const std::vector<std::size_t>& v, std::size_t w) {
+    return w < v.size() ? v[w] : std::size_t{0};
+  };
+  std::vector<ShardBddStats> shards;
+  shards.push_back(snapshot_shard(0, cssg_->encoding().mgr(),
+                                  count_of(shard_done_, 0),
+                                  count_of(shard_steals_, 0)));
+  for (std::size_t w = 0; w < extra_shards_.size(); ++w) {
+    if (!extra_shards_[w]) continue;
+    shards.push_back(snapshot_shard(w + 1, extra_shards_[w]->encoding().mgr(),
+                                    count_of(shard_done_, w + 1),
+                                    count_of(shard_steals_, w + 1)));
+  }
+  return shards;
 }
 
 // ---------------------------------------------------------------------------
@@ -449,7 +520,7 @@ void AtpgEngine::cross_simulate(
     if (!flagged[j]) {
       const auto it = generated_cache_.find(faults[j]);
       const bool search_exhausted =
-          it != generated_cache_.end() && !it->second.has_value();
+          it != generated_cache_.end() && !it->second.sequence.has_value();
       if (!search_exhausted) continue;
     }
     FaultSimulator& sim = *sims[j];
@@ -517,24 +588,16 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
     progress.elapsed_seconds = total_timer.seconds();
     return progress;
   };
-  // Per-shard 3-phase searches completed so far this run (index = worker
-  // slot; filled by generate_parallel, reported by every later snapshot).
-  std::vector<std::size_t> shard_done;
+  // Per-shard completion/steal counters restart with each run (filled by
+  // generate_parallel, reported by every later snapshot).
+  shard_done_.assign(shard_done_.size(), 0);
+  shard_steals_.assign(shard_steals_.size(), 0);
   // Full snapshot incl. shard stats — only safe while no workers run (the
   // parallel fan-out assembles its own snapshots from published counters).
   const auto emit_progress = [&](RunPhase phase) {
     if (observer == nullptr) return;
     RunProgress progress = progress_snapshot(phase);
-    const auto done_of = [&](std::size_t w) {
-      return w < shard_done.size() ? shard_done[w] : std::size_t{0};
-    };
-    progress.shards.push_back(
-        snapshot_shard(0, cssg_->encoding().mgr(), done_of(0)));
-    for (std::size_t w = 0; w < extra_shards_.size(); ++w) {
-      if (!extra_shards_[w]) continue;
-      progress.shards.push_back(snapshot_shard(
-          w + 1, extra_shards_[w]->encoding().mgr(), done_of(w + 1)));
-    }
+    progress.shards = shard_bdd_stats();
     observer->on_progress(progress);
   };
 
@@ -654,9 +717,8 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
         if (result.outcomes[j].covered_by == CoveredBy::None &&
             !generated_cache_.contains(faults[j]))
           batch.push_back(j);
-      generate_parallel(
-          faults, batch, cancel, observer,
-          [&] { return progress_snapshot(RunPhase::ThreePhase); }, shard_done);
+      generate_parallel(faults, batch, cancel, observer,
+                        [&] { return progress_snapshot(RunPhase::ThreePhase); });
 
       // Catch-up for byte-identity with a from-scratch run: a batch fault
       // whose search turned out exhausted would — in the from-scratch run —
@@ -666,7 +728,8 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
       // batch time, so any detection here is their first.)
       for (const std::size_t j : batch) {
         const auto it = generated_cache_.find(faults[j]);
-        if (it == generated_cache_.end() || it->second.has_value()) continue;
+        if (it == generated_cache_.end() || it->second.sequence.has_value())
+          continue;
         for (std::size_t c = 0; c < committed_paths.size(); ++c) {
           if (!replays_detect(j, c)) continue;
           ++result.stats.by_fault_sim;
@@ -683,8 +746,8 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
       if (cached == generated_cache_.end()) break;
       if (result.outcomes[i].covered_by != CoveredBy::None) continue;
     }
-    if (!cached->second) continue;  // undetected (redundant or beyond caps)
-    const TestSequence& seq = *cached->second;
+    if (!cached->second.sequence) continue;  // undetected (redundant or gave up)
+    const TestSequence& seq = *cached->second.sequence;
     const int seq_index = static_cast<int>(result.sequences.size());
     result.outcomes[i].covered_by = CoveredBy::ThreePhase;
     result.outcomes[i].sequence_index = seq_index;
@@ -724,10 +787,28 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
     if (!earlier) continue;  // attribution already matches from-scratch
     auto it = generated_cache_.find(faults[j]);
     if (it == generated_cache_.end())
-      it = generated_cache_.emplace(faults[j], generate_test(faults[j])).first;
-    if (!it->second.has_value()) result.outcomes[j].sequence_index = *earlier;
+      it = generated_cache_
+               .emplace(faults[j], generate_test_on(*cssg_, faults[j]))
+               .first;
+    if (!it->second.sequence.has_value())
+      result.outcomes[j].sequence_index = *earlier;
   }
   result.stats.three_phase_seconds = three_phase_timer.seconds();
+
+  // Surface which uncovered faults were cap-truncated ("gave up") vs
+  // genuinely search-exhausted — the distinction bench coverage floors need
+  // to tell a redundant design from a budget blowout.  Cancelled runs may
+  // leave faults unsearched; those stay gave_up = false (they were never
+  // attempted, a later run will search them).
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (result.outcomes[i].covered_by != CoveredBy::None) continue;
+    if (result.outcomes[i].proven_redundant) continue;
+    const auto it = generated_cache_.find(faults[i]);
+    if (it != generated_cache_.end() && it->second.gave_up) {
+      result.outcomes[i].gave_up = true;
+      ++result.stats.gave_up;
+    }
+  }
 
   result.stats.covered = result.stats.by_random + result.stats.by_three_phase +
                          result.stats.by_fault_sim;

@@ -19,17 +19,24 @@
 //     sidesteps all symbolic-layer locking.
 //   * The explicit CSSG and the netlist are shared read-only by all workers
 //     (the const query path: ExplicitCssg lookups, FaultSimulator replay).
-//   * Faults are distributed through a chunked MPMC work queue
-//     (util/work_queue.hpp): workers claim coarse blocks of fault indices
-//     with one atomic op per block, so imbalanced per-fault search cost
-//     still load-balances without a contended head pointer.
+//   * Faults are distributed through a work-stealing scheduler
+//     (util/work_queue.hpp): the fault batch is pre-split into coarse
+//     blocks dealt out to per-worker deques; each worker drains its own
+//     deque front-first and, when dry, steals whole blocks from the back of
+//     a victim's deque.  Per-fault search cost is heavy-tailed (one "whale"
+//     fault can cost 10000x the median), so stealing keeps the other
+//     workers fed when one is pinned — without putting thieves on the
+//     owner's common path (they only collide on a deque's last block).
 //   * The merge is deterministic: every still-uncovered fault's test is
 //     generated up front (each fault's search depends only on the fault, not
-//     on scheduling), then outcomes are committed strictly in fault-list
-//     order, and cross fault simulation of each committed sequence (the
-//     paper's "sim" column) runs as a post-merge word-parallel ternary pass
-//     in 64-lane batches (+ exact confirmation).  Results are therefore
-//     byte-identical for any thread count, including threads=1.
+//     on scheduling or which shard ran it), then outcomes are committed
+//     strictly in fault-list order, and cross fault simulation of each
+//     committed sequence (the paper's "sim" column) runs as a post-merge
+//     word-parallel ternary pass in 64-lane batches (+ exact confirmation).
+//     Every search cutoff is deterministic too (diff_depth/diff_node_cap;
+//     the wall clock is an off-by-default fallback).  Results are therefore
+//     byte-identical for any thread count and any steal interleaving,
+//     including threads=1.
 //
 // Streaming, cancellation, incrementality:
 //   * run(faults, observer, cancel) fires RunObserver callbacks from the
@@ -101,6 +108,12 @@ class AtpgEngine {
   /// The fault universe accumulated by run()/add_faults().
   const std::vector<Fault>& universe() const { return universe_; }
 
+  /// BDD accounting for every built symbolic shard (shard 0 = the engine's
+  /// own context, then each lazily built worker shard), with faults_done /
+  /// blocks_stolen from the most recent run.  Main-thread only, between
+  /// runs — the same snapshot the final progress callback reports.
+  std::vector<ShardBddStats> shard_bdd_stats() const;
+
   /// 3-phase ATPG for a single fault; returns the test sequence (from
   /// reset) or nullopt if the search space is exhausted (fault redundant or
   /// beyond the caps).
@@ -121,6 +134,18 @@ class AtpgEngine {
   struct DiffResult {
     bool found = false;
     TestSequence sequence;
+    /// Some part of the space was cut off by a cap (depth, node count,
+    /// simulator candidate cap, wall-clock fallback) — "not found" means
+    /// "gave up", not "proved absent".
+    bool truncated = false;
+  };
+  /// A completed 3-phase search: the test (nullopt = none found) plus
+  /// whether the search was cap-truncated.  gave_up is meaningful only when
+  /// sequence is empty — a found test is a found test however hard the
+  /// search worked.
+  struct SearchOutcome {
+    std::optional<TestSequence> sequence;
+    bool gave_up = false;
   };
   struct FaultHash {
     std::size_t operator()(const Fault& fault) const;
@@ -134,8 +159,7 @@ class AtpgEngine {
   DiffResult differentiate(const Fault& fault, const TestSequence& prefix) const;
   /// 3-phase search against a specific symbolic shard (phases 1+2 run on
   /// the shard's BddManager; phase 3 on the shared explicit graph).
-  std::optional<TestSequence> generate_test_on(const Cssg& shard,
-                                               const Fault& fault) const;
+  SearchOutcome generate_test_on(const Cssg& shard, const Fault& fault) const;
   bool provably_redundant_on(const Cssg& shard, const Fault& fault) const;
   /// A fresh worker shard: the same Cssg the constructor builds.
   std::unique_ptr<Cssg> build_shard() const;
@@ -152,8 +176,7 @@ class AtpgEngine {
   void generate_parallel(const std::vector<Fault>& faults,
                          const std::vector<std::size_t>& todo,
                          const CancelToken* cancel, RunObserver* observer,
-                         const std::function<RunProgress()>& make_base,
-                         std::vector<std::size_t>& shard_done);
+                         const std::function<RunProgress()>& make_base);
   /// Post-merge cross fault simulation of one committed sequence: 64-lane
   /// ternary screen over the remaining uncovered faults, exact confirmation
   /// of every flag, exact fallback for faults with no generated test.
@@ -178,12 +201,17 @@ class AtpgEngine {
   std::vector<std::unique_ptr<Cssg>> extra_shards_;
   /// The current fault universe (run() replaces, add_faults() extends).
   std::vector<Fault> universe_;
+  /// Per-shard 3-phase searches completed / blocks stolen during the most
+  /// recent run (index = worker slot).  Reset at the start of run_universe,
+  /// accumulated across its generation batches, reported by progress
+  /// snapshots and shard_bdd_stats().
+  std::vector<std::size_t> shard_done_;
+  std::vector<std::size_t> shard_steals_;
   /// Memoized 3-phase searches: presence means the search was *completed*
-  /// for that fault (value nullopt = search exhausted, fault undetected by
-  /// its own test).  Never invalidated — a generated test is a pure
-  /// function of (circuit, reset, options, fault).
-  std::unordered_map<Fault, std::optional<TestSequence>, FaultHash>
-      generated_cache_;
+  /// for that fault (SearchOutcome::sequence nullopt = search exhausted or
+  /// gave up, fault undetected by its own test).  Never invalidated — a
+  /// search outcome is a pure function of (circuit, reset, options, fault).
+  std::unordered_map<Fault, SearchOutcome, FaultHash> generated_cache_;
 };
 
 /// Tester-facing export: vectors and expected primary-output responses per

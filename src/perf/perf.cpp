@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "benchmarks/benchmarks.hpp"
@@ -142,6 +143,11 @@ std::size_t BenchRecord::total_covered() const {
   for (const CircuitRecord& c : circuits) n += c.faults_covered;
   return n;
 }
+std::size_t BenchRecord::total_gave_up() const {
+  std::size_t n = 0;
+  for (const CircuitRecord& c : circuits) n += c.gave_up;
+  return n;
+}
 std::size_t BenchRecord::total_peak_nodes() const {
   std::size_t n = 0;
   for (const CircuitRecord& c : circuits) n += c.peak_nodes;
@@ -204,20 +210,36 @@ CircuitRecord run_entry(const CorpusEntry& entry, const AtpgOptions& options) {
                         ? 0.0
                         : static_cast<double>(record.faults_covered) /
                               static_cast<double>(record.faults_total);
+  record.gave_up = out_result->stats.gave_up + in_result->stats.gave_up;
   record.sequences = in_result->sequences.size();
   record.cpu_ms = timer.millis();
 
   const ShardBddStats bdd = session->bdd_stats();
   record.peak_nodes = bdd.peak_nodes;
   record.live_nodes = bdd.live_nodes;
-  record.reorders = bdd.reorders;
   record.cache_lookups = bdd.cache_lookups;
   record.cache_hits = bdd.cache_hits;
   record.cache_hit_rate = bdd.cache_hit_rate();
   record.unique_load = bdd.unique_load;
   record.post_sift_nodes = session->sift_now();
+  // Count sifting passes LAST and across EVERY shard: the explicit pass
+  // behind post_sift_nodes is a real reorder the record used to miss, and
+  // on a multi-threaded run the worker shards sift independently of shard 0
+  // (reading bdd_stats() alone reported 0 forever — the schema-1 records'
+  // all-zero reorders column).
+  for (const ShardBddStats& shard : session->shard_bdd_stats())
+    record.reorders += shard.reorders;
   return record;
 }
+
+namespace {
+
+std::size_t detect_host_cores() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
 
 BenchRecord run_corpus(const std::vector<CorpusEntry>& corpus,
                        const AtpgOptions& options, const std::string& host_tag,
@@ -225,16 +247,78 @@ BenchRecord run_corpus(const std::vector<CorpusEntry>& corpus,
   BenchRecord record;
   record.host = host_tag;
   record.threads = options.threads;
+  record.host_cores = detect_host_cores();
   record.circuits.reserve(corpus.size());
   for (const CorpusEntry& entry : corpus) {
     record.circuits.push_back(run_entry(entry, options));
     if (progress != nullptr) {
       const CircuitRecord& c = record.circuits.back();
       *progress << "[bench] " << c.id << ": " << c.faults_covered << "/"
-                << c.faults_total << " covered, peak " << c.peak_nodes
-                << " nodes (post-sift " << c.post_sift_nodes << "), "
-                << c.cpu_ms << " ms\n";
+                << c.faults_total << " covered";
+      if (c.gave_up > 0) *progress << " (" << c.gave_up << " gave up)";
+      *progress << ", peak " << c.peak_nodes << " nodes (post-sift "
+                << c.post_sift_nodes << "), " << c.cpu_ms << " ms\n";
     }
+  }
+  return record;
+}
+
+BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
+                      const AtpgOptions& options, const std::string& host_tag,
+                      const std::vector<std::size_t>& thread_counts,
+                      std::ostream* progress) {
+  XATPG_CHECK_MSG(!thread_counts.empty(),
+                  "threads sweep needs at least one thread count");
+  BenchRecord record;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    AtpgOptions point_options = options;
+    point_options.threads = thread_counts[i];
+    if (progress != nullptr)
+      *progress << "[bench] --- threads = " << thread_counts[i] << " ---\n";
+    BenchRecord point = run_corpus(corpus, point_options, host_tag, progress);
+    SweepPoint measured;
+    measured.threads = thread_counts[i];
+    measured.cpu_ms = point.total_cpu_ms();
+    if (i == 0) {
+      // The first point (canonically threads = 1) supplies the record's
+      // per-circuit data; later points contribute timing only.
+      record = std::move(point);
+    } else {
+      // Scheduler byte-identity cross-check: every sweep point must cover
+      // the exact same faults per circuit, whatever the thread count and
+      // steal interleaving.
+      XATPG_CHECK_MSG(point.circuits.size() == record.circuits.size(),
+                      "threads sweep produced a different corpus size");
+      for (std::size_t c = 0; c < point.circuits.size(); ++c) {
+        const CircuitRecord& base = record.circuits[c];
+        const CircuitRecord& cur = point.circuits[c];
+        XATPG_CHECK_MSG(
+            cur.id == base.id && cur.faults_total == base.faults_total &&
+                cur.faults_covered == base.faults_covered &&
+                cur.gave_up == base.gave_up && cur.sequences == base.sequences,
+            "threads sweep: '" << base.id << "' diverged at threads = "
+                               << thread_counts[i]
+                               << " — the scheduler broke determinism");
+      }
+    }
+    record.sweep.push_back(measured);
+  }
+  // speedup/efficiency relative to the sweep's own first point (canonically
+  // threads = 1).
+  const double base_ms = record.sweep.front().cpu_ms;
+  for (SweepPoint& point : record.sweep) {
+    point.speedup = point.cpu_ms > 0 ? base_ms / point.cpu_ms : 0;
+    point.efficiency =
+        point.threads > 0 ? point.speedup / static_cast<double>(point.threads)
+                          : 0;
+  }
+  if (progress != nullptr) {
+    *progress << "[bench] threads-sweep (host_cores = " << record.host_cores
+              << "):\n";
+    for (const SweepPoint& point : record.sweep)
+      *progress << "[bench]   threads " << point.threads << ": "
+                << point.cpu_ms << " ms, speedup " << point.speedup
+                << "x, efficiency " << point.efficiency << "\n";
   }
   return record;
 }
@@ -270,6 +354,7 @@ void write_json(const BenchRecord& record, std::ostream& out) {
       << "  \"kernel\": \"" << json_escape(record.kernel) << "\",\n"
       << "  \"host\": \"" << json_escape(record.host) << "\",\n"
       << "  \"threads\": " << record.threads << ",\n"
+      << "  \"host_cores\": " << record.host_cores << ",\n"
       << "  \"circuits\": [\n";
   for (std::size_t i = 0; i < record.circuits.size(); ++i) {
     const CircuitRecord& c = record.circuits[i];
@@ -277,7 +362,7 @@ void write_json(const BenchRecord& record, std::ostream& out) {
         << ", \"signals\": " << c.signals << ", \"pins\": " << c.pins
         << ", \"faults_total\": " << c.faults_total
         << ", \"faults_covered\": " << c.faults_covered
-        << ", \"coverage\": " << c.coverage
+        << ", \"coverage\": " << c.coverage << ", \"gave_up\": " << c.gave_up
         << ", \"sequences\": " << c.sequences << ", \"cpu_ms\": " << c.cpu_ms
         << ", \"peak_nodes\": " << c.peak_nodes
         << ", \"live_nodes\": " << c.live_nodes
@@ -289,9 +374,21 @@ void write_json(const BenchRecord& record, std::ostream& out) {
         << ", \"unique_load\": " << c.unique_load << "}"
         << (i + 1 < record.circuits.size() ? "," : "") << "\n";
   }
-  out << "  ],\n"
-      << "  \"totals\": {\"faults_total\": " << record.total_faults()
+  out << "  ],\n";
+  if (!record.sweep.empty()) {
+    out << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < record.sweep.size(); ++i) {
+      const SweepPoint& p = record.sweep[i];
+      out << "    {\"threads\": " << p.threads << ", \"cpu_ms\": " << p.cpu_ms
+          << ", \"speedup\": " << p.speedup
+          << ", \"efficiency\": " << p.efficiency << "}"
+          << (i + 1 < record.sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+  }
+  out << "  \"totals\": {\"faults_total\": " << record.total_faults()
       << ", \"faults_covered\": " << record.total_covered()
+      << ", \"gave_up\": " << record.total_gave_up()
       << ", \"peak_nodes\": " << record.total_peak_nodes()
       << ", \"cpu_ms\": " << record.total_cpu_ms() << "}\n"
       << "}\n";
@@ -530,6 +627,7 @@ BenchRecord parse_record(const std::string& json_text) {
   record.kernel = string_field(root, "kernel");
   record.host = string_field(root, "host");
   record.threads = size_field(root, "threads");
+  record.host_cores = size_field(root, "host_cores");  // 0 on schema-1 records
   const JsonValue* circuits = root.find("circuits");
   XATPG_CHECK_MSG(circuits != nullptr &&
                       circuits->type == JsonValue::Type::Array,
@@ -545,6 +643,7 @@ BenchRecord parse_record(const std::string& json_text) {
     c.faults_total = size_field(entry, "faults_total");
     c.faults_covered = size_field(entry, "faults_covered");
     c.coverage = num_field(entry, "coverage", 0);
+    c.gave_up = size_field(entry, "gave_up");  // 0 on schema-1 records
     c.sequences = size_field(entry, "sequences");
     c.cpu_ms = num_field(entry, "cpu_ms", 0);
     c.peak_nodes = size_field(entry, "peak_nodes");
@@ -556,6 +655,22 @@ BenchRecord parse_record(const std::string& json_text) {
     c.cache_hit_rate = num_field(entry, "cache_hit_rate", 0);
     c.unique_load = num_field(entry, "unique_load", 0);
     record.circuits.push_back(std::move(c));
+  }
+  if (const JsonValue* sweep = root.find("sweep")) {
+    XATPG_CHECK_MSG(sweep->type == JsonValue::Type::Array,
+                    "perf record: 'sweep' is not an array");
+    for (const JsonValue& entry : sweep->array) {
+      XATPG_CHECK_MSG(entry.type == JsonValue::Type::Object,
+                      "perf record: sweep entry is not an object");
+      SweepPoint point;
+      point.threads = size_field(entry, "threads");
+      XATPG_CHECK_MSG(point.threads > 0,
+                      "perf record: sweep entry without 'threads'");
+      point.cpu_ms = num_field(entry, "cpu_ms", 0);
+      point.speedup = num_field(entry, "speedup", 0);
+      point.efficiency = num_field(entry, "efficiency", 0);
+      record.sweep.push_back(point);
+    }
   }
   return record;
 }
@@ -625,6 +740,17 @@ Comparison compare(const BenchRecord& baseline, const BenchRecord& current,
       note(base.id + ": coverage improved (" +
            std::to_string(base.faults_covered) + " -> " +
            std::to_string(cur.faults_covered) + ")");
+    // gave_up distinguishes "searched and redundant" from "cap blowout":
+    // a rise with flat coverage means the caps started truncating searches
+    // that previously ran to completion — worth eyes even when no covered
+    // fault regressed.
+    if (cur.gave_up > base.gave_up)
+      note(base.id + ": gave_up rose (" + std::to_string(base.gave_up) +
+           " -> " + std::to_string(cur.gave_up) +
+           "); searches are newly hitting resource caps");
+    else if (cur.gave_up < base.gave_up)
+      note(base.id + ": gave_up fell (" + std::to_string(base.gave_up) +
+           " -> " + std::to_string(cur.gave_up) + ")");
 
     const double node_bound = static_cast<double>(base.peak_nodes) *
                               (1.0 + options.max_node_regression);
@@ -666,6 +792,49 @@ Comparison compare(const BenchRecord& baseline, const BenchRecord& current,
         cur_total > base_total * (1.0 + options.max_cpu_regression))
       fail("total CPU regressed >" + fmt(100.0 * options.max_cpu_regression) +
            "% (" + fmt(base_total) + " -> " + fmt(cur_total) + " ms)");
+  }
+
+  // Scaling gates: sweep curves are only comparable between records from
+  // the same machine class — same host tag AND same core count.  A 1-core
+  // host's curve carries no parallelism signal at all (workers time-slice
+  // one core), so it never gates.
+  if (!baseline.sweep.empty() && !current.sweep.empty()) {
+    const bool sweep_comparable = !baseline.host.empty() &&
+                                  baseline.host == current.host &&
+                                  baseline.host_cores == current.host_cores &&
+                                  baseline.host_cores > 1;
+    if (!sweep_comparable) {
+      note("scaling gates skipped: sweep records are from different or "
+           "single-core hosts ('" + baseline.host + "'/" +
+           std::to_string(baseline.host_cores) + " cores vs '" +
+           current.host + "'/" + std::to_string(current.host_cores) +
+           " cores)");
+    } else {
+      for (const SweepPoint& base : baseline.sweep) {
+        const SweepPoint* cur = nullptr;
+        for (const SweepPoint& p : current.sweep)
+          if (p.threads == base.threads) cur = &p;
+        if (cur == nullptr) {
+          note("sweep point threads=" + std::to_string(base.threads) +
+               " missing from the current record");
+          continue;
+        }
+        if (base.threads <= 1 || base.speedup <= 0) continue;
+        if (cur->speedup <
+            base.speedup * (1.0 - options.max_speedup_regression))
+          fail("scaling at threads=" + std::to_string(base.threads) +
+               " regressed >" + fmt(100.0 * options.max_speedup_regression) +
+               "% (speedup " + fmt(base.speedup) + "x -> " +
+               fmt(cur->speedup) + "x)");
+        else if (cur->speedup >
+                 base.speedup * (1.0 + options.max_speedup_regression))
+          note("scaling at threads=" + std::to_string(base.threads) +
+               " improved (speedup " + fmt(base.speedup) + "x -> " +
+               fmt(cur->speedup) + "x)");
+      }
+    }
+  } else if (!baseline.sweep.empty()) {
+    note("scaling gates skipped: current record has no threads sweep");
   }
   return result;
 }

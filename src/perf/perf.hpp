@@ -29,7 +29,16 @@
 
 namespace xatpg::perf {
 
-inline constexpr int kSchemaVersion = 1;
+// Schema history:
+//   1 — initial record: per-circuit coverage/nodes/CPU + host/threads tags.
+//   2 — adds per-circuit `gave_up` (cap-truncated searches, so coverage
+//       floors can tell "searched and redundant" from "gave up"), the
+//       `host_cores` tag (hardware threads of the recording machine — a
+//       single-core host cannot demonstrate scaling), and the optional
+//       `sweep` array (per-thread-count corpus CPU with speedup /
+//       parallel-efficiency columns).  Old parsers ignore the new keys;
+//       this parser defaults them when reading schema-1 records.
+inline constexpr int kSchemaVersion = 2;
 /// Identifies the kernel generation a record was produced by (recorded in
 /// the JSON so a cross-kernel diff is visible in the comparator output).
 inline constexpr const char* kKernelName = "complement-edge";
@@ -64,6 +73,10 @@ struct CircuitRecord {
   /// Input- plus output-stuck universes, summed (the paper's two tables).
   std::size_t faults_total = 0, faults_covered = 0;
   double coverage = 0;  ///< faults_covered / faults_total
+  /// Uncovered faults whose 3-phase search was truncated by a resource cap
+  /// (vs genuinely search-exhausted/redundant).  0 on a redundant-by-design
+  /// circuit means the low coverage is real, not a silent cap blowout.
+  std::size_t gave_up = 0;
   std::size_t sequences = 0;
   double cpu_ms = 0;  ///< wall clock from before Session construction
   std::size_t peak_nodes = 0;       ///< allocated-node watermark (shard 0)
@@ -75,16 +88,36 @@ struct CircuitRecord {
   double unique_load = 0;
 };
 
+/// One threads-sweep measurement point: the whole corpus re-run at a fixed
+/// thread count.  speedup/efficiency are relative to the sweep's own
+/// threads=1 point, so they are meaningful even on records whose absolute
+/// CPU numbers are not comparable across hosts.
+struct SweepPoint {
+  std::size_t threads = 0;
+  double cpu_ms = 0;      ///< corpus total at this thread count
+  double speedup = 0;     ///< threads=1 cpu_ms / this cpu_ms
+  double efficiency = 0;  ///< speedup / threads (1.0 = perfect scaling)
+};
+
 struct BenchRecord {
   int schema = kSchemaVersion;
   std::string kernel = kKernelName;
   /// Free-form machine tag; compare() only gates CPU between equal tags.
   std::string host;
   std::size_t threads = 1;
+  /// Hardware threads of the recording machine (0 = unknown, schema-1
+  /// records).  A sweep recorded with host_cores = 1 cannot show real
+  /// scaling — workers time-slice one core — and compare() treats its
+  /// efficiency columns as informational only.
+  std::size_t host_cores = 0;
   std::vector<CircuitRecord> circuits;
+  /// Threads-sweep scaling curve (empty unless recorded with
+  /// `xatpg bench --threads-sweep`).
+  std::vector<SweepPoint> sweep;
 
   std::size_t total_faults() const;
   std::size_t total_covered() const;
+  std::size_t total_gave_up() const;
   std::size_t total_peak_nodes() const;
   double total_cpu_ms() const;
 };
@@ -99,6 +132,16 @@ CircuitRecord run_entry(const CorpusEntry& entry, const AtpgOptions& options);
 BenchRecord run_corpus(const std::vector<CorpusEntry>& corpus,
                        const AtpgOptions& options, const std::string& host_tag,
                        std::ostream* progress = nullptr);
+
+/// Run the corpus once per thread count in `thread_counts` and record the
+/// scaling curve.  The returned record's `circuits` come from the FIRST
+/// point (canonically threads=1); every later point must reproduce the
+/// same per-circuit coverage — a live byte-identity cross-check of the
+/// work-stealing scheduler — or the harness throws CheckError.
+BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
+                      const AtpgOptions& options, const std::string& host_tag,
+                      const std::vector<std::size_t>& thread_counts,
+                      std::ostream* progress = nullptr);
 
 // --- JSON -------------------------------------------------------------------
 
@@ -125,6 +168,12 @@ struct CompareOptions {
   /// Per-circuit CPU gates ignore circuits faster than this in the baseline
   /// (sub-threshold times are dominated by noise, not by the code).
   double min_cpu_ms = 25.0;
+  /// A sweep point fails when its speedup falls below baseline speedup *
+  /// (1 - this).  Only applied between records with the same host tag AND
+  /// the same host_cores (a 1-core and a 4-core runner have incomparable
+  /// curves), and never against a host_cores = 1 baseline point (no real
+  /// parallelism to regress).
+  double max_speedup_regression = 0.25;
 };
 
 struct Comparison {

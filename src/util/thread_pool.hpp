@@ -2,7 +2,7 @@
 //
 // Deliberately simple: tasks are opaque std::function<void()> jobs pushed
 // through one mutex-protected queue.  The pool is NOT the scalability
-// mechanism — workers pull coarse fault batches from a ChunkedWorkQueue
+// mechanism — workers pull coarse fault blocks from a StealingWorkQueue
 // (util/work_queue.hpp) inside a single long-lived task each, so the pool's
 // queue sees O(threads) submissions per ATPG run, never O(faults).
 #pragma once

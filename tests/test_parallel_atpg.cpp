@@ -1,15 +1,20 @@
 // Determinism suite for the fault-parallel ATPG engine: the fan-out over
 // worker shards must be invisible in the results.  For every fixture
-// circuit, `AtpgEngine::run` with threads ∈ {1, 2, 4} must produce
+// circuit, `AtpgEngine::run` with threads ∈ {1, 2, 4, 8} must produce
 // byte-identical FaultOutcome tables, test sequences, and phase counters —
-// scheduling may only change wall-clock numbers.
+// scheduling (including work stealing) may only change wall-clock numbers.
 //
-// This suite is also the ThreadSanitizer workload in CI: the threads=2/4
-// runs exercise the thread pool, the chunked work queue, the per-worker
-// shard build, and every shared read-only path (netlist, explicit CSSG).
+// This suite is also the ThreadSanitizer workload in CI: the threads=2/4/8
+// runs exercise the thread pool, the work-stealing queue (own-deque pops
+// AND cross-deque steals, including the owner/thief race on a deque's last
+// block), the per-worker shard build, and every shared read-only path
+// (netlist, explicit CSSG).
 #include "atpg/engine.hpp"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
 
 #include "atpg/fault.hpp"
 #include "benchmarks/benchmarks.hpp"
@@ -26,10 +31,10 @@ AtpgOptions determinism_options(std::size_t threads) {
   options.random_walk_len = 6;
   options.seed = 5;
   options.threads = threads;
-  // The wall-clock cap is the one nondeterministic knob (see AtpgOptions);
-  // disarm it so the deterministic caps (diff_depth/diff_node_cap) bind and
-  // the byte-identity guarantee holds even under slow sanitizers.
-  options.per_fault_seconds = 1e9;
+  // The wall-clock fallback (the one machine-dependent knob) is disabled by
+  // default; state it explicitly — this suite is the byte-identity
+  // guarantee, and it must hold even under slow sanitizers.
+  options.per_fault_seconds = 0;
   return options;
 }
 
@@ -44,14 +49,15 @@ void expect_identical(const AtpgResult& base, const AtpgResult& other,
   EXPECT_EQ(base.stats.covered, other.stats.covered);
   EXPECT_EQ(base.stats.undetected, other.stats.undetected);
   EXPECT_EQ(base.stats.proven_redundant, other.stats.proven_redundant);
+  EXPECT_EQ(base.stats.gave_up, other.stats.gave_up);
 }
 
 void check_determinism(const Netlist& netlist, const std::vector<bool>& reset,
                        const std::string& name, bool classify = false,
                        bool reorder = false) {
   std::optional<AtpgResult> base_in, base_out;
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{4}}) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     AtpgOptions options = determinism_options(threads);
     options.classify_undetectable = classify;
     if (reorder) {
@@ -150,6 +156,37 @@ TEST(ParallelEngine, SequencesDetectTheirFaultsAtFourThreads) {
     EXPECT_EQ(status, DetectStatus::Detected)
         << outcome.fault.describe(synth.netlist);
   }
+}
+
+TEST(ParallelEngine, ShardAccountingCoversEverySearchedFault) {
+  // Engine-level stress of the stealing fan-out: with the random phase off,
+  // every fault goes through a 3-phase search on SOME shard.  The per-shard
+  // faults_done counters must sum to exactly the batch size — a block that
+  // was stolen still runs exactly once, a block that was never stolen still
+  // runs exactly once — and the steal telemetry must be internally
+  // consistent regardless of how the whale-vs-thief timing played out.
+  const auto synth = benchmark_circuit("mmu", SynthStyle::BoundedDelay);
+  const auto faults = input_stuck_faults(synth.netlist);
+  AtpgOptions options = determinism_options(4);
+  options.random_budget = 0;
+  AtpgEngine engine(synth.netlist, synth.reset_state, options);
+  const AtpgResult result = engine.run(faults);
+  EXPECT_GT(result.stats.by_three_phase, 0u);
+
+  const std::vector<ShardBddStats> shards = engine.shard_bdd_stats();
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t searched = 0, stolen = 0;
+  for (const ShardBddStats& shard : shards) {
+    searched += shard.faults_done;
+    stolen += shard.blocks_stolen;
+  }
+  EXPECT_EQ(searched, faults.size());
+  // A worker cannot steal more blocks than it completed faults (each stolen
+  // block contains at least one fault it then searched).
+  for (const ShardBddStats& shard : shards)
+    EXPECT_LE(shard.blocks_stolen, shard.faults_done) << "shard "
+                                                      << shard.shard;
+  (void)stolen;  // how many steals happen is scheduling, not contract
 }
 
 // --- cancellation ------------------------------------------------------------
@@ -325,19 +362,64 @@ TEST(Incremental, ResumeAfterCancelReproducesFullRun) {
   }
 }
 
+// --- deterministic per-fault budgets -----------------------------------------
+
+TEST(ParallelDeterminism, TightDeterministicCapsGiveUpIdenticallyAcrossThreads) {
+  // Starve the differentiation BFS so searches truncate: the truncations are
+  // cut by diff_node_cap (a pure function of the input), so the resulting
+  // gave_up population must be nonzero AND byte-identical at every thread
+  // count — a cap blowout may never depend on scheduling.
+  const auto synth = benchmark_circuit("mmu", SynthStyle::BoundedDelay);
+  const auto faults = input_stuck_faults(synth.netlist);
+  std::optional<AtpgResult> base;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    AtpgOptions options = determinism_options(threads);
+    options.random_budget = 0;  // force every fault through the 3-phase search
+    options.diff_node_cap = 10;
+    AtpgEngine engine(synth.netlist, synth.reset_state, options);
+    const AtpgResult result = engine.run(faults);
+    EXPECT_GT(result.stats.gave_up, 0u);
+    for (std::size_t j = 0; j < result.outcomes.size(); ++j)
+      if (result.outcomes[j].gave_up) {
+        EXPECT_EQ(result.outcomes[j].covered_by, CoveredBy::None);
+        EXPECT_FALSE(result.outcomes[j].proven_redundant);
+      }
+    if (!base)
+      base = result;
+    else
+      expect_identical(*base, result, threads, "mmu/bd tight-caps");
+  }
+}
+
+TEST(ParallelDeterminism, DisabledWallClockMatchesHugeWallClockBudget) {
+  // per_fault_seconds = 0 (disabled) and a budget no search can ever trip
+  // must be indistinguishable: the wall clock is a fallback, never the
+  // binding cap on a healthy run.
+  const auto synth = benchmark_circuit("mmu", SynthStyle::BoundedDelay);
+  const auto faults = input_stuck_faults(synth.netlist);
+  AtpgOptions disabled = determinism_options(4);
+  disabled.per_fault_seconds = 0;
+  AtpgOptions huge = determinism_options(4);
+  huge.per_fault_seconds = 1e9;
+  AtpgEngine a(synth.netlist, synth.reset_state, disabled);
+  AtpgEngine b(synth.netlist, synth.reset_state, huge);
+  expect_identical(a.run(faults), b.run(faults), 4, "mmu/bd wall-clock");
+}
+
 // --- the concurrency primitives themselves -----------------------------------
 
-TEST(ChunkedWorkQueue, DrainsEveryItemExactlyOnceAcrossThreads) {
+TEST(StealingWorkQueue, DrainsEveryItemExactlyOnceAcrossThreads) {
   std::vector<std::size_t> items(10000);
-  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
-  ChunkedWorkQueue<std::size_t> queue(std::move(items),
-                                      work_block_size(10000, 4));
+  std::iota(items.begin(), items.end(), std::size_t{0});
+  StealingWorkQueue<std::size_t> queue(std::move(items),
+                                       work_block_size(10000, 4), 4);
   std::vector<std::atomic<int>> claimed(10000);
   {
     ThreadPool pool(4);
-    for (int w = 0; w < 4; ++w)
-      pool.submit([&] {
-        while (const auto block = queue.pop_block())
+    for (std::size_t w = 0; w < 4; ++w)
+      pool.submit([&, w] {
+        while (const auto block = queue.pop_block(w))
           for (const std::size_t i : *block) claimed[i].fetch_add(1);
       });
     pool.wait_idle();
@@ -346,11 +428,116 @@ TEST(ChunkedWorkQueue, DrainsEveryItemExactlyOnceAcrossThreads) {
     ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
 }
 
-TEST(ChunkedWorkQueue, BlockSizeHeuristic) {
+TEST(StealingWorkQueue, ThievesDrainAnIdleOwnersDeque) {
+  // Deterministic single-threaded steal path: worker 0 never pops, so its
+  // seeded blocks are reachable ONLY by stealing.  Workers 1..3 must drain
+  // the whole batch anyway, and the steal telemetry must account for every
+  // block that crossed a deque boundary.
+  std::vector<int> items(64);
+  std::iota(items.begin(), items.end(), 0);
+  StealingWorkQueue<int> queue(std::move(items), /*block_size=*/4,
+                               /*workers=*/4);
+  ASSERT_EQ(queue.num_blocks(), 16u);  // 4 seeded blocks per worker
+  std::vector<int> claimed(64, 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (const std::size_t w : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}})
+      if (const auto block = queue.pop_block(w)) {
+        any = true;
+        for (const int i : *block) ++claimed[i];
+      }
+  }
+  for (std::size_t i = 0; i < claimed.size(); ++i)
+    EXPECT_EQ(claimed[i], 1) << "item " << i;
+  EXPECT_EQ(queue.steals(0), 0u);
+  EXPECT_EQ(queue.total_steals(), 4u);  // exactly worker 0's seeded blocks
+  EXPECT_FALSE(queue.pop_block(0).has_value());  // drained for the owner too
+}
+
+TEST(StealingWorkQueue, WhaleOwnerDonatesItsUntouchedBlocks) {
+  // The heavy-tail scenario the scheduler exists for: worker 0 claims one
+  // block and then stalls on it (a "whale" fault) while workers 1..3 run.
+  // The thieves must finish worker 0's untouched blocks; nothing may strand.
+  std::vector<std::size_t> items(64);
+  std::iota(items.begin(), items.end(), std::size_t{0});
+  StealingWorkQueue<std::size_t> queue(std::move(items), /*block_size=*/4,
+                                       /*workers=*/4);
+  std::vector<std::atomic<int>> claimed(64);
+  const auto whale = queue.pop_block(0);  // worker 0 starts its first block…
+  ASSERT_TRUE(whale.has_value());
+  for (const std::size_t i : *whale) claimed[i].fetch_add(1);
+  {  // …and is stuck on it for the entire lifetime of the other workers.
+    ThreadPool pool(3);
+    for (std::size_t w = 1; w < 4; ++w)
+      pool.submit([&, w] {
+        while (const auto block = queue.pop_block(w))
+          for (const std::size_t i : *block) claimed[i].fetch_add(1);
+      });
+    pool.wait_idle();
+  }
+  EXPECT_FALSE(queue.pop_block(0).has_value());  // whale finds nothing left
+  for (std::size_t i = 0; i < claimed.size(); ++i)
+    ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
+  // Worker 0 was seeded 4 blocks and ran 1; the other 3 were stealable only.
+  EXPECT_GE(queue.total_steals(), 3u);
+  EXPECT_EQ(queue.steals(0), 0u);
+}
+
+TEST(StealingWorkQueue, LastBlockRaceResolvesToExactlyOneClaim) {
+  // One block, four workers: the seeding gives it to worker 3, so three
+  // thieves race the owner on the same packed cursor.  Exactly one claim
+  // may succeed.  Iterate to give TSan and the race a real chance.
+  for (int round = 0; round < 200; ++round) {
+    StealingWorkQueue<int> queue({1, 2, 3}, /*block_size=*/8, /*workers=*/4);
+    ASSERT_EQ(queue.num_blocks(), 1u);
+    std::atomic<int> wins{0};
+    {
+      ThreadPool pool(4);
+      for (std::size_t w = 0; w < 4; ++w)
+        pool.submit([&, w] {
+          if (queue.pop_block(w).has_value()) wins.fetch_add(1);
+        });
+      pool.wait_idle();
+    }
+    ASSERT_EQ(wins.load(), 1) << "round " << round;
+    ASSERT_FALSE(queue.pop_block(0).has_value());
+  }
+}
+
+TEST(StealingWorkQueue, EmptyQueueYieldsNulloptForEveryWorker) {
+  StealingWorkQueue<int> queue({}, /*block_size=*/4, /*workers=*/4);
+  EXPECT_EQ(queue.num_blocks(), 0u);
+  for (std::size_t w = 0; w < 4; ++w)
+    EXPECT_FALSE(queue.pop_block(w).has_value()) << "worker " << w;
+  EXPECT_EQ(queue.total_steals(), 0u);
+}
+
+TEST(StealingWorkQueue, BlockSizeHeuristic) {
   EXPECT_EQ(work_block_size(0, 1), 1u);
   EXPECT_EQ(work_block_size(100, 1), 100u);   // serial: one block
   EXPECT_EQ(work_block_size(100, 4), 6u);     // ~4 blocks per worker
   EXPECT_EQ(work_block_size(3, 8), 1u);       // never zero
+  EXPECT_EQ(work_block_size(5, 4), 1u);       // items barely >= workers
+}
+
+TEST(StealingWorkQueue, EveryWorkerSeededWhenItemsReachWorkerCount) {
+  // The rounding guarantee: items >= workers must split into at least
+  // `workers` blocks, so the contiguous deal-out seeds every deque.
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{16}}) {
+    for (const std::size_t items :
+         {workers, workers + 1, 2 * workers - 1, std::size_t{100},
+          std::size_t{1000}}) {
+      if (items < workers) continue;
+      const std::size_t size = work_block_size(items, workers);
+      ASSERT_GE(size, 1u);
+      const std::size_t blocks = (items + size - 1) / size;
+      EXPECT_GE(blocks, workers)
+          << "items=" << items << " workers=" << workers << " size=" << size;
+    }
+  }
 }
 
 TEST(ThreadPool, WaitIdleSeesAllSubmittedWork) {

@@ -257,5 +257,141 @@ TEST(PerfCompare, TotalCpuGateCatchesDeathByAThousandCuts) {
       }));
 }
 
+// --- schema 2: gave_up, host_cores, threads sweep ----------------------------
+
+TEST(PerfJson, Schema2FieldsRoundTrip) {
+  BenchRecord record = tiny_record();
+  record.host_cores = 8;
+  record.circuits[0].gave_up = 3;
+  record.sweep = {{1, 400.0, 1.0, 1.0}, {4, 110.0, 3.6, 0.9}};
+  const BenchRecord parsed = parse_record(to_json(record));
+  EXPECT_EQ(parsed.host_cores, 8u);
+  EXPECT_EQ(parsed.circuits[0].gave_up, 3u);
+  EXPECT_EQ(parsed.total_gave_up(), 3u);
+  ASSERT_EQ(parsed.sweep.size(), 2u);
+  EXPECT_EQ(parsed.sweep[1].threads, 4u);
+  EXPECT_NEAR(parsed.sweep[1].cpu_ms, 110.0, 1e-3);
+  EXPECT_NEAR(parsed.sweep[1].speedup, 3.6, 1e-6);
+  EXPECT_NEAR(parsed.sweep[1].efficiency, 0.9, 1e-6);
+}
+
+TEST(PerfJson, Schema1RecordsParseWithDefaults) {
+  // A record written before schema 2 has no host_cores / gave_up / sweep;
+  // the parser must default them instead of rejecting the baseline file.
+  const std::string old_record =
+      "{\"schema\": 1, \"kernel\": \"complement-edge\", \"host\": \"ci\",\n"
+      " \"threads\": 1,\n"
+      " \"circuits\": [{\"id\": \"si/alpha\", \"faults_total\": 5,\n"
+      "                \"faults_covered\": 5, \"peak_nodes\": 10}]}";
+  const BenchRecord parsed = parse_record(old_record);
+  EXPECT_EQ(parsed.schema, 1);
+  EXPECT_EQ(parsed.host_cores, 0u);
+  EXPECT_TRUE(parsed.sweep.empty());
+  ASSERT_EQ(parsed.circuits.size(), 1u);
+  EXPECT_EQ(parsed.circuits[0].gave_up, 0u);
+}
+
+TEST(PerfCompare, GaveUpChangesAreNotesNotFailures) {
+  const BenchRecord baseline = tiny_record();
+  BenchRecord current = baseline;
+  current.circuits[0].gave_up = 4;  // caps newly truncating searches
+  const Comparison comparison = compare(baseline, current);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(std::any_of(
+      comparison.notes.begin(), comparison.notes.end(),
+      [](const std::string& n) {
+        return n.find("gave_up rose") != std::string::npos;
+      }));
+}
+
+BenchRecord sweep_record(std::size_t host_cores) {
+  BenchRecord record = tiny_record();
+  record.host_cores = host_cores;
+  record.sweep = {{1, 400.0, 1.0, 1.0},
+                  {2, 210.0, 1.9, 0.95},
+                  {4, 100.0, 4.0, 1.0}};
+  return record;
+}
+
+TEST(PerfCompare, SpeedupRegressionBeyondBoundFails) {
+  const BenchRecord baseline = sweep_record(/*host_cores=*/4);
+  BenchRecord current = baseline;
+  current.sweep[2].speedup = 2.9;  // < 4.0 * (1 - 0.25)
+  const Comparison comparison = compare(baseline, current);
+  EXPECT_FALSE(comparison.ok);
+  EXPECT_TRUE(std::any_of(
+      comparison.failures.begin(), comparison.failures.end(),
+      [](const std::string& f) {
+        return f.find("scaling at threads=4") != std::string::npos;
+      }));
+  // Exactly at the bound: passes (same convention as the node gate).
+  current.sweep[2].speedup = 3.0;
+  EXPECT_TRUE(compare(baseline, current).ok);
+}
+
+TEST(PerfCompare, ScalingGatesSkipAcrossHostClasses) {
+  const auto skipped_note = [](const Comparison& c) {
+    return std::any_of(c.notes.begin(), c.notes.end(),
+                       [](const std::string& n) {
+                         return n.find("scaling gates skipped") !=
+                                std::string::npos;
+                       });
+  };
+  // Same tag, different core counts: curves are not comparable.
+  const BenchRecord base4 = sweep_record(4);
+  BenchRecord cur8 = sweep_record(8);
+  cur8.sweep[2].speedup = 1.0;  // would fail if gated
+  Comparison comparison = compare(base4, cur8);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(skipped_note(comparison));
+
+  // Single-core host: no parallelism signal, never gates.
+  const BenchRecord base1 = sweep_record(1);
+  BenchRecord cur1 = sweep_record(1);
+  cur1.sweep[2].speedup = 0.5;
+  comparison = compare(base1, cur1);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(skipped_note(comparison));
+
+  // Different host tag: skipped like the CPU gates.
+  BenchRecord other_host = sweep_record(4);
+  other_host.host = "laptop";
+  other_host.sweep[2].speedup = 0.5;
+  comparison = compare(base4, other_host);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(skipped_note(comparison));
+}
+
+TEST(PerfRun, ReordersCountSurvivesIntoTheRecord) {
+  // Regression lock for the wiring bug where `reorders` was read from shard
+  // 0 *before* the explicit sift pass and stayed 0 forever: with sifting
+  // armed, the recorded count must be nonzero (the explicit post-run sift
+  // alone performs at least one pass).
+  const CorpusEntry entry = entry_by_id("bench/parity5");
+  AtpgOptions options;
+  options.reorder.enabled = true;
+  options.reorder.trigger_nodes = 64;  // small enough to trip mid-run
+  const CircuitRecord record = run_entry(entry, options);
+  EXPECT_GT(record.reorders, 0u);
+}
+
+TEST(PerfSweep, RecordsCurveAndCrossChecksDeterminism) {
+  const std::vector<CorpusEntry> corpus{entry_by_id("bench/c17")};
+  AtpgOptions options;
+  const BenchRecord record = run_sweep(corpus, options, "unit", {1, 2});
+  EXPECT_GT(record.host_cores, 0u);
+  ASSERT_EQ(record.circuits.size(), 1u);
+  ASSERT_EQ(record.sweep.size(), 2u);
+  EXPECT_EQ(record.sweep[0].threads, 1u);
+  EXPECT_EQ(record.sweep[1].threads, 2u);
+  EXPECT_NEAR(record.sweep[0].speedup, 1.0, 1e-9);
+  EXPECT_NEAR(record.sweep[0].efficiency, 1.0, 1e-9);
+  EXPECT_GT(record.sweep[1].speedup, 0.0);
+  EXPECT_NEAR(record.sweep[1].efficiency, record.sweep[1].speedup / 2.0,
+              1e-9);
+  // The record's circuits come from the threads=1 point.
+  EXPECT_EQ(record.threads, 1u);
+}
+
 }  // namespace
 }  // namespace xatpg::perf

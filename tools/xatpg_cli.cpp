@@ -11,8 +11,8 @@
 //                [--progress] [--json]
 //   xatpg cssg   --circuit ... [--json | --dot] [--out FILE]
 //   xatpg export --circuit ... [--out FILE] [run flags]
-//   xatpg bench  [--threads N] [--seed N] [--reorder] [--filter SUBSTR]
-//                [--host TAG] [--json] [--out FILE]
+//   xatpg bench  [--threads N | --threads-sweep] [--seed N] [--reorder]
+//                [--filter SUBSTR] [--host TAG] [--json] [--out FILE]
 //   xatpg bench-compare BASELINE.json CURRENT.json
 //                [--max-regress PCT] [--min-cpu-ms MS]
 //
@@ -60,6 +60,9 @@ int usage(const char* argv0) {
       << "  --faults F         input|output|both (run default: both;\n"
       << "                     export default: input)\n"
       << "  --threads N        fault-parallel workers (0 = hardware)\n"
+      << "  --threads-sweep    bench: run the corpus at threads 1,2,4,8 and\n"
+      << "                     record the scaling curve (speedup/efficiency\n"
+      << "                     per thread count)\n"
       << "  --seed N           random TPG seed\n"
       << "  --k N              settle bound per test cycle\n"
       << "  --random-budget N  vectors spent in random TPG\n"
@@ -87,6 +90,7 @@ struct CliArgs {
   bool json = false;
   bool dot = false;
   bool progress = false;
+  bool threads_sweep = false;          ///< bench: record the scaling curve
   std::string out;
   std::string filter;                  ///< bench: corpus id substring
   std::string host;                    ///< bench: record host tag
@@ -180,6 +184,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const auto v = count(1u << 30);
       if (!v) return false;
       args.options.random_budget = static_cast<std::size_t>(*v);
+    } else if (flag == "--threads-sweep") {
+      args.threads_sweep = true;
     } else if (flag == "--reorder") {
       args.options.reorder.enabled = true;
     } else if (flag == "--classify") {
@@ -279,6 +285,7 @@ void print_universe_json(std::ostream& out, const char* key,
       << ", \"sim\": " << stats.by_fault_sim
       << ", \"undetected\": " << stats.undetected
       << ", \"proven_redundant\": " << stats.proven_redundant
+      << ", \"gave_up\": " << stats.gave_up
       << ", \"coverage\": " << stats.coverage() << "}";
 }
 
@@ -289,6 +296,7 @@ void print_universe_text(std::ostream& out, const char* title,
       << "  3-ph " << stats.by_three_phase << "  sim " << stats.by_fault_sim;
   if (stats.proven_redundant != 0)
     out << "  redundant " << stats.proven_redundant;
+  if (stats.gave_up != 0) out << "  gave-up " << stats.gave_up;
   out << "\n";
 }
 
@@ -412,14 +420,25 @@ int cmd_bench(const CliArgs& args, std::ostream& out) {
   }
   try {
     const perf::BenchRecord record =
-        perf::run_corpus(corpus, args.options, args.host, &std::cerr);
+        args.threads_sweep
+            ? perf::run_sweep(corpus, args.options, args.host, {1, 2, 4, 8},
+                              &std::cerr)
+            : perf::run_corpus(corpus, args.options, args.host, &std::cerr);
     if (args.json) {
       perf::write_json(record, out);
     } else {
       out << "corpus: " << record.circuits.size() << " circuits, "
           << record.total_covered() << "/" << record.total_faults()
-          << " faults covered, " << record.total_peak_nodes()
-          << " summed peak nodes, " << record.total_cpu_ms() << " ms\n";
+          << " faults covered";
+      if (record.total_gave_up() > 0)
+        out << " (" << record.total_gave_up() << " gave up)";
+      out << ", " << record.total_peak_nodes() << " summed peak nodes, "
+          << record.total_cpu_ms() << " ms\n";
+      for (const perf::SweepPoint& point : record.sweep)
+        out << "  threads " << point.threads << ": " << point.cpu_ms
+            << " ms, speedup " << point.speedup << "x, efficiency "
+            << point.efficiency << " (host_cores " << record.host_cores
+            << ")\n";
     }
   } catch (const CheckError& e) {
     std::cerr << "xatpg bench: " << e.what() << "\n";
