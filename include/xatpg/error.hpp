@@ -43,7 +43,7 @@ struct Error {
   ErrorCode code = ErrorCode::ResourceError;
   std::string message;
 
-  std::string to_string() const {
+  [[nodiscard]] std::string to_string() const {
     return std::string(error_code_name(code)) + ": " + message;
   }
 
@@ -68,7 +68,7 @@ class [[nodiscard]] Expected {
   Expected(T value) : v_(std::move(value)) {}       // NOLINT(runtime/explicit)
   Expected(Error error) : v_(std::move(error)) {}   // NOLINT(runtime/explicit)
 
-  bool has_value() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(v_); }
   explicit operator bool() const { return has_value(); }
 
   T& value() & {
@@ -107,7 +107,7 @@ class [[nodiscard]] Expected<void> {
   Expected() = default;
   Expected(Error error) : err_(std::move(error)) {}  // NOLINT(runtime/explicit)
 
-  bool has_value() const { return !err_.has_value(); }
+  [[nodiscard]] bool has_value() const { return !err_.has_value(); }
   explicit operator bool() const { return has_value(); }
 
   void value() const {

@@ -24,7 +24,7 @@ enum class VarOrder {
   Sifted,              ///< interleaved start + dynamic group sifting
 };
 
-const char* var_order_name(VarOrder order);
+[[nodiscard]] const char* var_order_name(VarOrder order);
 
 /// Dynamic (Rudell sifting) reordering policy for a BDD manager.
 struct ReorderPolicy {
@@ -98,7 +98,7 @@ struct AtpgOptions {
   /// a typo).  Returns an OptionError listing *all* violations.  The
   /// Session facade calls this for every run; AtpgEngine's constructor
   /// enforces it loudly.
-  Expected<void> validate() const;
+  [[nodiscard]] Expected<void> validate() const;
 };
 
 }  // namespace xatpg

@@ -42,7 +42,7 @@ class CancelToken {
   void request_cancel() noexcept {
     flag_->store(true, std::memory_order_relaxed);
   }
-  bool cancelled() const noexcept {
+  [[nodiscard]] bool cancelled() const noexcept {
     return flag_->load(std::memory_order_relaxed);
   }
   void reset() noexcept { flag_->store(false, std::memory_order_relaxed); }
@@ -91,7 +91,7 @@ struct ShardBddStats {
 
   /// Fraction of computed-cache probes answered from the cache (0 when the
   /// shard has not probed yet).
-  double cache_hit_rate() const {
+  [[nodiscard]] double cache_hit_rate() const {
     return cache_lookups == 0
                ? 0.0
                : static_cast<double>(cache_hits) /

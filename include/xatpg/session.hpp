@@ -53,29 +53,29 @@ class Session {
   /// Parse a circuit from .xnl text.  The reset state is the stable state
   /// reached by relaxing the all-false assignment; a circuit that cannot
   /// settle from there yields ResourceError.
-  static Expected<Session> from_xnl(const std::string& text,
+  [[nodiscard]] static Expected<Session> from_xnl(const std::string& text,
                                     const AtpgOptions& options = {});
 
   /// Like from_xnl, reading the text from a file (missing/unreadable file
   /// yields ResourceError).
-  static Expected<Session> from_xnl_file(const std::string& path,
+  [[nodiscard]] static Expected<Session> from_xnl_file(const std::string& path,
                                          const AtpgOptions& options = {});
 
   /// Parse a circuit from ISCAS-style .bench text (INPUT/OUTPUT/assignment
   /// lines).  DFF is rejected with ParseError — this library models
   /// asynchronous (clockless) logic; combinational .bench circuits settle
   /// and test like any other netlist.
-  static Expected<Session> from_bench(const std::string& text,
+  [[nodiscard]] static Expected<Session> from_bench(const std::string& text,
                                       const AtpgOptions& options = {});
 
   /// Like from_bench, reading the text from a file.
-  static Expected<Session> from_bench_file(const std::string& path,
+  [[nodiscard]] static Expected<Session> from_bench_file(const std::string& path,
                                            const AtpgOptions& options = {});
 
   /// Synthesize one of the named benchmark reconstructions (Table 1/2
   /// suites, fig1a/fig1b).  Unknown names yield OptionError; a failed
   /// synthesis yields SynthError.
-  static Expected<Session> from_benchmark(
+  [[nodiscard]] static Expected<Session> from_benchmark(
       const std::string& name,
       SynthStyle style = SynthStyle::SpeedIndependent,
       const AtpgOptions& options = {});
@@ -88,34 +88,34 @@ class Session {
 
   // --- circuit --------------------------------------------------------------
 
-  const std::string& circuit_name() const;
-  std::size_t num_inputs() const;
-  std::size_t num_outputs() const;
-  std::size_t num_signals() const;
+  [[nodiscard]] const std::string& circuit_name() const;
+  [[nodiscard]] std::size_t num_inputs() const;
+  [[nodiscard]] std::size_t num_outputs() const;
+  [[nodiscard]] std::size_t num_signals() const;
   /// Total gate input pins (the input stuck-at fault sites).
-  std::size_t num_pins() const;
+  [[nodiscard]] std::size_t num_pins() const;
   /// The circuit in native .xnl text (round-trips through from_xnl).
-  std::string circuit_xnl() const;
+  [[nodiscard]] std::string circuit_xnl() const;
   /// The stable test-mode reset state (one bit per signal).
-  const std::vector<bool>& reset_state() const;
+  [[nodiscard]] const std::vector<bool>& reset_state() const;
 
-  const AtpgOptions& options() const;
+  [[nodiscard]] const AtpgOptions& options() const;
 
   // --- CSSG abstraction -----------------------------------------------------
 
   /// Figure-2-style statistics of the CSSG built for this circuit.
-  const CssgStats& cssg_stats() const;
+  [[nodiscard]] const CssgStats& cssg_stats() const;
   /// Graphviz dump of the explicit CSSG (stable states + valid vectors).
-  std::string cssg_dot() const;
+  [[nodiscard]] std::string cssg_dot() const;
 
   // --- fault universes ------------------------------------------------------
 
   /// All input (gate-pin) stuck-at faults: 2 per pin.
-  std::vector<Fault> input_stuck_faults() const;
+  [[nodiscard]] std::vector<Fault> input_stuck_faults() const;
   /// All output (signal) stuck-at faults: 2 per signal.
-  std::vector<Fault> output_stuck_faults() const;
+  [[nodiscard]] std::vector<Fault> output_stuck_faults() const;
   /// "pin c.1 s-a-0" / "out y s-a-1" style description.
-  std::string describe(const Fault& fault) const;
+  [[nodiscard]] std::string describe(const Fault& fault) const;
 
   // --- runs -----------------------------------------------------------------
 
@@ -123,36 +123,36 @@ class Session {
   /// Streams events to `observer` and stops cooperatively between faults
   /// when `cancel` fires (the partial result is deterministic and
   /// resumable).  Invalid faults (out-of-range ids) yield OptionError.
-  Expected<AtpgResult> run(const std::vector<Fault>& faults,
+  [[nodiscard]] Expected<AtpgResult> run(const std::vector<Fault>& faults,
                            RunObserver* observer = nullptr,
                            const CancelToken* cancel = nullptr);
 
   /// Grow the universe incrementally (see the file header).  The returned
   /// result covers the whole union universe and is byte-identical to a
   /// from-scratch run on it.
-  Expected<AtpgResult> add_faults(const std::vector<Fault>& faults,
+  [[nodiscard]] Expected<AtpgResult> add_faults(const std::vector<Fault>& faults,
                                   RunObserver* observer = nullptr,
                                   const CancelToken* cancel = nullptr);
 
   /// The current fault universe (what run/add_faults accumulated).
-  const std::vector<Fault>& fault_universe() const;
+  [[nodiscard]] const std::vector<Fault>& fault_universe() const;
   /// True once run() has produced a result on this session.
-  bool has_result() const;
+  [[nodiscard]] bool has_result() const;
   /// The last run's result.  Precondition: has_result().
-  const AtpgResult& last_result() const;
+  [[nodiscard]] const AtpgResult& last_result() const;
 
   // --- export & accounting --------------------------------------------------
 
   /// Tester-facing export of `result`'s sequences: vectors and expected
   /// primary-output responses per cycle.  Sequences that are not valid CSSG
   /// paths of this circuit yield OptionError.
-  Expected<std::string> test_program(const AtpgResult& result) const;
+  [[nodiscard]] Expected<std::string> test_program(const AtpgResult& result) const;
 
   /// BDD accounting of the engine's own symbolic context (shard 0):
   /// allocated-node watermark, live nodes after a garbage collection,
   /// sifting passes, computed-cache hit counters, and the unique-table load
   /// factor.
-  ShardBddStats bdd_stats() const;
+  [[nodiscard]] ShardBddStats bdd_stats() const;
 
   /// BDD accounting for EVERY built symbolic shard — shard 0 plus each
   /// worker shard a multi-threaded run lazily constructed — including
@@ -160,7 +160,7 @@ class Session {
   /// most recent run.  Accounting that must not miss worker-shard activity
   /// (e.g. total sifting passes across a parallel run) has to sum over this
   /// rather than read bdd_stats() alone.
-  std::vector<ShardBddStats> shard_bdd_stats() const;
+  [[nodiscard]] std::vector<ShardBddStats> shard_bdd_stats() const;
 
   /// Run one dynamic-reordering (sifting) pass on the engine's own symbolic
   /// context now, regardless of the session's ReorderPolicy, and return the

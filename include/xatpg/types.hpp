@@ -46,10 +46,10 @@ struct Fault {
   bool operator==(const Fault&) const = default;
 
   /// "pin c.1 s-a-0" / "out y s-a-1" style description.
-  std::string describe(const Netlist& netlist) const;
+  [[nodiscard]] std::string describe(const Netlist& netlist) const;
 
   /// Injection spec for the 64-lane parallel ternary simulator (internal).
-  LaneInjection to_injection(std::uint64_t lanes) const;
+  [[nodiscard]] LaneInjection to_injection(std::uint64_t lanes) const;
 };
 
 /// One synchronous test: input vectors applied from reset, one per test
@@ -110,7 +110,7 @@ struct AtpgStats {
   double random_seconds = 0;
   double three_phase_seconds = 0;
 
-  double coverage() const {
+  [[nodiscard]] double coverage() const {
     return total_faults == 0
                ? 1.0
                : static_cast<double>(covered) / static_cast<double>(total_faults);

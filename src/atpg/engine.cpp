@@ -46,6 +46,16 @@ std::size_t AtpgEngine::FaultHash::operator()(const Fault& fault) const {
 
 /// Published by each worker at fault granularity; read by the run's calling
 /// thread to stream per-shard BDD statistics while generation is running.
+///
+/// Publication protocol (lock-free; outside the scope of the mutex-based
+/// thread-safety annotations in util/annotations.hpp, verified by the TSan
+/// CI job instead): every field is an independent monotonic counter written
+/// by exactly one worker with relaxed stores and read by the progress
+/// thread with relaxed loads.  Readers may observe a torn *set* of counters
+/// (e.g. done advanced but cache_hits not yet) — each individual value is
+/// still a real point-in-time value, which is all the streaming progress
+/// display needs.  Nothing downstream derives control flow from a
+/// cross-field invariant.
 struct AtpgEngine::ShardCounters {
   std::atomic<std::size_t> live{0};
   std::atomic<std::size_t> peak{0};

@@ -99,7 +99,7 @@ Netlist apply_fault(const Netlist& netlist, const Fault& fault) {
     // the public API is clumsy, so Netlist grants a dedicated mutator.
     faulty.redirect_pin(fault.gate, fault.pin, cst);
   }
-  faulty.validate();
+  faulty.check_invariants();
   return faulty;
 }
 

@@ -79,54 +79,54 @@ class Bdd {
   ~Bdd();
 
   /// True if this handle refers to a node (even the constant nodes).
-  bool valid() const { return mgr_ != nullptr; }
-  BddManager* manager() const { return mgr_; }
+  [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+  [[nodiscard]] BddManager* manager() const { return mgr_; }
   /// The raw edge value: (node index << 1) | complement bit.  Stable across
   /// garbage collection and dynamic reordering; meaningful only to the
   /// owning manager.
-  std::uint32_t index() const { return idx_; }
+  [[nodiscard]] std::uint32_t index() const { return idx_; }
   /// True if this handle travels through a complemented edge (the node it
   /// references stores !f).  Purely representational — two handles are equal
   /// iff edge AND complement agree, which is exactly function equality.
-  bool complemented() const { return (idx_ & 1u) != 0; }
+  [[nodiscard]] bool complemented() const { return (idx_ & 1u) != 0; }
 
-  bool is_false() const;
-  bool is_true() const;
-  bool is_const() const { return is_false() || is_true(); }
+  [[nodiscard]] bool is_false() const;
+  [[nodiscard]] bool is_true() const;
+  [[nodiscard]] bool is_const() const { return is_false() || is_true(); }
 
   /// Top variable; precondition: !is_const().  NOTE: under dynamic
   /// reordering "top" means highest level (closest to the root), which is
   /// not necessarily the smallest variable index.
-  std::uint32_t top_var() const;
+  [[nodiscard]] std::uint32_t top_var() const;
   /// Low (var=0) cofactor; precondition: !is_const().  The handle's
   /// complement bit is folded in, so f == ite(top_var, high, low) always.
-  Bdd low() const;
+  [[nodiscard]] Bdd low() const;
   /// High (var=1) cofactor; precondition: !is_const().
-  Bdd high() const;
+  [[nodiscard]] Bdd high() const;
 
   // Boolean combinators (delegate to the manager; operator! is a local bit
   // flip and allocates nothing).
-  Bdd operator&(const Bdd& rhs) const;
-  Bdd operator|(const Bdd& rhs) const;
-  Bdd operator^(const Bdd& rhs) const;
-  Bdd operator!() const;
+  [[nodiscard]] Bdd operator&(const Bdd& rhs) const;
+  [[nodiscard]] Bdd operator|(const Bdd& rhs) const;
+  [[nodiscard]] Bdd operator^(const Bdd& rhs) const;
+  [[nodiscard]] Bdd operator!() const;
   Bdd& operator&=(const Bdd& rhs);
   Bdd& operator|=(const Bdd& rhs);
   Bdd& operator^=(const Bdd& rhs);
 
   /// Structural equality (canonical: equal iff same function).
-  bool operator==(const Bdd& rhs) const {
+  [[nodiscard]] bool operator==(const Bdd& rhs) const {
     return mgr_ == rhs.mgr_ && idx_ == rhs.idx_;
   }
-  bool operator!=(const Bdd& rhs) const { return !(*this == rhs); }
+  [[nodiscard]] bool operator!=(const Bdd& rhs) const { return !(*this == rhs); }
 
   /// f <= g in the implication order (f -> g is a tautology).
-  bool implies(const Bdd& rhs) const;
+  [[nodiscard]] bool implies(const Bdd& rhs) const;
 
   /// Number of distinct nodes in this BDD (including the terminal; a node
   /// shared between f and parts of !f counts once — complement edges are
   /// exactly this sharing).
-  std::size_t node_count() const;
+  [[nodiscard]] std::size_t node_count() const;
 
  private:
   friend class BddManager;
@@ -168,25 +168,25 @@ class BddManager {
 
   /// Append a fresh variable at the bottom of the order; returns its index.
   std::uint32_t new_var();
-  std::uint32_t num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint32_t num_vars() const { return num_vars_; }
 
-  Bdd bdd_false() { return Bdd(this, kFalseEdge); }
-  Bdd bdd_true() { return Bdd(this, kTrueEdge); }
+  [[nodiscard]] Bdd bdd_false() { return Bdd(this, kFalseEdge); }
+  [[nodiscard]] Bdd bdd_true() { return Bdd(this, kTrueEdge); }
   /// Literal x_v (positive) — precondition: v < num_vars().
-  Bdd var(std::uint32_t v);
+  [[nodiscard]] Bdd var(std::uint32_t v);
   /// Literal !x_v (negative) — the complemented edge to the same node; never
   /// allocates.
-  Bdd nvar(std::uint32_t v);
+  [[nodiscard]] Bdd nvar(std::uint32_t v);
 
   // --- dynamic variable order ----------------------------------------------
   /// Position of variable v in the order (0 = root-most).
-  std::uint32_t level_of(std::uint32_t v) const { return var_to_level_[v]; }
+  [[nodiscard]] std::uint32_t level_of(std::uint32_t v) const { return var_to_level_[v]; }
   /// Variable occupying position `level`.
-  std::uint32_t var_at_level(std::uint32_t level) const {
+  [[nodiscard]] std::uint32_t var_at_level(std::uint32_t level) const {
     return level_to_var_[level];
   }
   /// Variables in level order (a permutation of 0..num_vars-1).
-  const std::vector<std::uint32_t>& current_order() const {
+  [[nodiscard]] const std::vector<std::uint32_t>& current_order() const {
     return level_to_var_;
   }
 
@@ -213,46 +213,46 @@ class BddManager {
   ReorderStats reorder_to(const std::vector<std::uint32_t>& order);
 
   void set_reorder_policy(const ReorderPolicy& policy);
-  const ReorderPolicy& reorder_policy() const { return reorder_policy_; }
+  [[nodiscard]] const ReorderPolicy& reorder_policy() const { return reorder_policy_; }
   /// Sifting passes performed (explicit + auto-triggered).
-  std::size_t reorder_count() const { return reorder_count_; }
+  [[nodiscard]] std::size_t reorder_count() const { return reorder_count_; }
   /// Adjacent-level swaps performed over the manager's lifetime.
-  std::size_t swap_count() const { return swap_count_; }
+  [[nodiscard]] std::size_t swap_count() const { return swap_count_; }
 
   /// if-then-else: f ? g : h.  The workhorse all binary ops reduce to.
-  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+  [[nodiscard]] Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
 
-  Bdd apply_and(const Bdd& f, const Bdd& g);
-  Bdd apply_or(const Bdd& f, const Bdd& g);
-  Bdd apply_xor(const Bdd& f, const Bdd& g);
-  Bdd apply_not(const Bdd& f);
+  [[nodiscard]] Bdd apply_and(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_or(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_xor(const Bdd& f, const Bdd& g);
+  [[nodiscard]] Bdd apply_not(const Bdd& f);
 
   /// Existential quantification of all variables in `cube` (a positive
   /// product of literals).
-  Bdd exists(const Bdd& f, const Bdd& cube);
+  [[nodiscard]] Bdd exists(const Bdd& f, const Bdd& cube);
   /// Universal quantification.  With complement edges this is literally
   /// !exists(!f, cube) — one quantifier core serves both, and forall shares
   /// the exists cache through the complement.
-  Bdd forall(const Bdd& f, const Bdd& cube);
+  [[nodiscard]] Bdd forall(const Bdd& f, const Bdd& cube);
   /// Fused relational product:  ∃ cube . f ∧ g  — the inner loop of every
   /// image computation in src/sgraph.
-  Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+  [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
 
   /// Rename variables: var v in f becomes var_map[v].  var_map must be a
   /// permutation vector of size num_vars().
-  Bdd permute(const Bdd& f, const std::vector<std::uint32_t>& var_map);
+  [[nodiscard]] Bdd permute(const Bdd& f, const std::vector<std::uint32_t>& var_map);
 
   /// Substitute g for variable v in f (Shannon composition).
-  Bdd compose(const Bdd& f, std::uint32_t v, const Bdd& g);
+  [[nodiscard]] Bdd compose(const Bdd& f, std::uint32_t v, const Bdd& g);
 
   /// Cofactor of f with respect to literal (v = phase).
-  Bdd cofactor(const Bdd& f, std::uint32_t v, bool phase);
+  [[nodiscard]] Bdd cofactor(const Bdd& f, std::uint32_t v, bool phase);
 
   /// Positive cube of all variables occurring in f.
-  Bdd support_cube(const Bdd& f);
+  [[nodiscard]] Bdd support_cube(const Bdd& f);
   /// Sorted list of variables occurring in f (sorted by variable index,
   /// independent of the current order).
-  std::vector<std::uint32_t> support_vars(const Bdd& f);
+  [[nodiscard]] std::vector<std::uint32_t> support_vars(const Bdd& f);
 
   /// Number of satisfying assignments of f over `nvars` variables, divided
   /// by 2^divide_exp.  The division happens on the internal
@@ -260,41 +260,41 @@ class BddManager {
   /// sub-universe" stay representable even when the raw count would
   /// overflow double (which throws CheckError).  The result depends only on
   /// the function, never on the current variable order.
-  double sat_count(const Bdd& f, std::uint32_t nvars,
+  [[nodiscard]] double sat_count(const Bdd& f, std::uint32_t nvars,
                    std::int64_t divide_exp = 0);
 
   /// Extract one satisfying assignment over the given variables; entries for
   /// variables f does not constrain are DontCare.  Precondition: !f.is_false().
   /// NOTE: which minterm is picked depends on the current variable order;
   /// order-independent callers (src/sgraph) canonicalize on top of cofactor.
-  std::vector<Tri> pick_minterm(const Bdd& f,
+  [[nodiscard]] std::vector<Tri> pick_minterm(const Bdd& f,
                                 const std::vector<std::uint32_t>& vars);
 
   /// Evaluate f under a complete assignment (indexed by variable).
-  bool eval(const Bdd& f, const std::vector<bool>& assignment);
+  [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& assignment);
 
   /// Enumerate every complete assignment over `vars` (which must be sorted
   /// by strictly ascending LEVEL — for a never-reordered manager that is
   /// ascending variable index — and cover f's support), expanding
   /// don't-cares.  Throws CheckError if more than `limit` assignments exist.
-  std::vector<std::vector<bool>> all_minterms(
+  [[nodiscard]] std::vector<std::vector<bool>> all_minterms(
       const Bdd& f, const std::vector<std::uint32_t>& vars,
       std::size_t limit = 1u << 20);
 
   /// Build the positive cube of the listed variables.
-  Bdd make_cube(const std::vector<std::uint32_t>& vars);
+  [[nodiscard]] Bdd make_cube(const std::vector<std::uint32_t>& vars);
 
   /// Build the minterm ∧ (x_v == value_v) for parallel vectors vars/values.
-  Bdd make_minterm(const std::vector<std::uint32_t>& vars,
+  [[nodiscard]] Bdd make_minterm(const std::vector<std::uint32_t>& vars,
                    const std::vector<bool>& values);
 
   /// Nodes currently allocated (live + garbage not yet collected).
-  std::size_t allocated_nodes() const { return nodes_.size() - free_count_; }
+  [[nodiscard]] std::size_t allocated_nodes() const { return nodes_.size() - free_count_; }
   /// Force a mark-and-sweep collection now; returns nodes freed.
   std::size_t collect_garbage();
   /// Collections performed so far (statistic for the ordering ablation;
   /// sifting-internal sweeps are not counted).
-  std::size_t gc_count() const { return gc_count_; }
+  [[nodiscard]] std::size_t gc_count() const { return gc_count_; }
 
   /// Allocated-node watermark that triggers a collection at the next public
   /// operation entry.  By default the watermark is ADAPTIVE: after each
@@ -302,7 +302,7 @@ class BddManager {
   /// garbage fraction — and with it the peak-allocated watermark — stays
   /// bounded by a constant factor of the live size instead of a fixed
   /// 2^18-node cliff that image fixpoints on large circuits never reach.
-  std::size_t gc_threshold() const { return gc_threshold_; }
+  [[nodiscard]] std::size_t gc_threshold() const { return gc_threshold_; }
   /// Pin the watermark and disable the adaptive policy.  Exposed so stress
   /// tests can force a GC at every op entry (threshold 0 stays 0) and
   /// validate the "GC only at op entry" invariant the recursive cores rely
@@ -313,7 +313,7 @@ class BddManager {
   }
 
   /// Peak allocated node count observed (statistic).
-  std::size_t peak_nodes() const { return peak_nodes_; }
+  [[nodiscard]] std::size_t peak_nodes() const { return peak_nodes_; }
 
   // --- cache / table statistics --------------------------------------------
   // Fed to the perf harness (src/perf), the per-shard progress snapshots
@@ -322,14 +322,14 @@ class BddManager {
   // snapshots can be diffed.
 
   /// Computed-cache probes since construction.
-  std::size_t cache_lookups() const { return cache_lookups_; }
+  [[nodiscard]] std::size_t cache_lookups() const { return cache_lookups_; }
   /// Probes that returned a cached result.
-  std::size_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
   /// Chained unique-table entries (live + not-yet-swept garbage) divided by
   /// the total bucket count — the classic load factor.  Subtables double at
   /// load 2, so this stays in [0, 2] and a value near 2 means the table is
   /// about to grow.
-  double unique_load() const;
+  [[nodiscard]] double unique_load() const;
 
   /// Walk every unique subtable and XATPG_CHECK the canonical-form
   /// invariants the complement-edge kernel maintains for every

@@ -105,7 +105,7 @@ std::size_t Netlist::num_pins() const {
   return pins;
 }
 
-void Netlist::validate() const {
+void Netlist::check_invariants() const {
   for (SignalId s = 0; s < gates_.size(); ++s) {
     const Gate& g = gates_[s];
     XATPG_CHECK_MSG(defined_[s], "signal '" << g.name << "' has no driver");

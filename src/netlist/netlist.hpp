@@ -61,9 +61,9 @@ class Netlist {
   /// materialization; covers keep their arity).
   void redirect_pin(SignalId gate, std::size_t pin, SignalId new_source);
 
-  /// Validate structural invariants (all signals driven, fanins in range,
+  /// Check structural invariants (all signals driven, fanins in range,
   /// covers match fanin arity).  Throws CheckError on violation.
-  void validate() const;
+  void check_invariants() const;
 
   // --- access ---------------------------------------------------------------
 

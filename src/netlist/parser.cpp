@@ -123,7 +123,7 @@ Netlist parse_xnl(std::istream& in) {
                                      << keyword << "'");
     }
   }
-  netlist.validate();
+  netlist.check_invariants();
   return netlist;
 }
 
@@ -211,7 +211,7 @@ Netlist parse_bench(std::istream& in) {
     netlist.add_gate(parse_gate_type(type_name), out_name, fanins);
   }
   for (const std::string& name : pending_outputs) netlist.set_output(name);
-  netlist.validate();
+  netlist.check_invariants();
   return netlist;
 }
 

@@ -33,7 +33,7 @@ Netlist random_netlist(std::uint64_t seed, const RandomNetlistOptions& options,
     pool.push_back(netlist.add_gate(type, name, fanins));
   }
   netlist.set_output(pool.back());
-  netlist.validate();
+  netlist.check_invariants();
   std::vector<bool> settled(netlist.num_signals(), false);
   XATPG_CHECK(settle_to_stable(netlist, settled));
   if (reset != nullptr) *reset = std::move(settled);

@@ -22,7 +22,7 @@ struct RandomNetlistOptions {
 };
 
 /// Deterministic random netlist: same seed, same circuit, on every platform
-/// (the generator only draws from Rng).  The result passes validate() and
+/// (the generator only draws from Rng).  The result passes check_invariants() and
 /// settles from the all-false state; the final gate is the primary output.
 /// When `reset` is non-null it receives the settled all-false reset state.
 Netlist random_netlist(std::uint64_t seed,

@@ -292,7 +292,7 @@ SynthResult synthesize(const StateGraph& sg, const SynthOptions& options) {
   for (std::uint32_t sig = 0; sig < n; ++sig)
     if (sg.stg->signal(sig).kind == SignalKind::Output)
       netlist.set_output(sg.stg->signal(sig).name);
-  netlist.validate();
+  netlist.check_invariants();
 
   // Reset state: a quiescent SG state (prefer the initial one), extended to
   // all netlist-internal gates by combinational relaxation.

@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis annotations for xatpg.
+//
+// The ATPG engine's correctness argument leans on concurrency invariants the
+// compiler normally never sees: which fields a mutex guards, which functions
+// must (or must not) hold it, and which data is published lock-free under a
+// documented protocol.  These macros expose the invariants to Clang's
+// -Wthread-safety static analysis (a compile-time capability system over
+// locks — see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) while
+// expanding to nothing on compilers without the attribute, so annotated code
+// stays portable to gcc.
+//
+// Build with -DXATPG_THREAD_SAFETY=ON (Clang only) to turn the analysis on
+// as -Wthread-safety -Werror; the CI lint job does this on every push.
+//
+// Conventions:
+//  * Data members guarded by a lock get XATPG_GUARDED_BY(mutex_); data
+//    reached through a pointer gets XATPG_PT_GUARDED_BY(mutex_).
+//  * Functions that must be called with a lock held get XATPG_REQUIRES(m);
+//    functions that acquire/release get XATPG_ACQUIRE(m)/XATPG_RELEASE(m).
+//  * Lock-free structures (StealingWorkQueue, ShardCounters) have no
+//    capability to annotate — their publication protocol is documented at
+//    the type and checked dynamically under the TSan CI job instead.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define XATPG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef XATPG_THREAD_ANNOTATION
+#define XATPG_THREAD_ANNOTATION(x)  // compiles away off-Clang
+#endif
+
+/// Marks a type as a capability (a lock) the analysis can track.
+#define XATPG_CAPABILITY(x) XATPG_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define XATPG_SCOPED_CAPABILITY XATPG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define XATPG_GUARDED_BY(x) XATPG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define XATPG_PT_GUARDED_BY(x) XATPG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: capability (exclusively) held by the caller.
+#define XATPG_REQUIRES(...) \
+  XATPG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: capability held at least shared.
+#define XATPG_REQUIRES_SHARED(...) \
+  XATPG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define XATPG_ACQUIRE(...) \
+  XATPG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller holds.
+#define XATPG_RELEASE(...) \
+  XATPG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define XATPG_TRY_ACQUIRE(result, ...) \
+  XATPG_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function must be called WITHOUT the capability held (deadlock guard).
+#define XATPG_EXCLUDES(...) \
+  XATPG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert (at runtime) that the capability is held; teaches the analysis.
+#define XATPG_ASSERT_CAPABILITY(x) \
+  XATPG_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define XATPG_RETURN_CAPABILITY(x) XATPG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function out of the analysis (use sparingly; justify in a comment).
+#define XATPG_NO_THREAD_SAFETY_ANALYSIS \
+  XATPG_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -20,23 +20,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!idle()) lock.wait(idle_cv_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) lock.wait(work_cv_);
       if (tasks_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -44,9 +44,9 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
-      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (idle()) idle_cv_.notify_all();
     }
   }
 }

@@ -5,15 +5,24 @@
 // mechanism — workers pull coarse fault blocks from a StealingWorkQueue
 // (util/work_queue.hpp) inside a single long-lived task each, so the pool's
 // queue sees O(threads) submissions per ATPG run, never O(faults).
+//
+// The locking protocol is machine-checked: every field the queue mutex
+// guards is declared XATPG_GUARDED_BY(mutex_), and a Clang build with
+// -DXATPG_THREAD_SAFETY=ON (-Wthread-safety -Werror) rejects any access
+// outside the lock at compile time.  TSan checks the same protocol
+// dynamically on the CI sanitizer job; the static pass covers the
+// interleavings TSan never executes.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace xatpg {
 
@@ -31,20 +40,26 @@ class ThreadPool {
 
   /// Enqueue a task.  Tasks must not throw — wrap bodies that can fail and
   /// stash the std::exception_ptr (see AtpgEngine::run).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) XATPG_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and every worker is idle.
-  void wait_idle();
+  void wait_idle() XATPG_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() XATPG_EXCLUDES(mutex_);
+  /// True when the queue is drained and no task is running.
+  bool idle() const XATPG_REQUIRES(mutex_) {
+    return tasks_.empty() && active_ == 0;
+  }
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable work_cv_;   // signals workers: task or stop
   std::condition_variable idle_cv_;   // signals wait_idle: all drained
-  std::deque<std::function<void()>> tasks_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::deque<std::function<void()>> tasks_ XATPG_GUARDED_BY(mutex_);
+  std::size_t active_ XATPG_GUARDED_BY(mutex_) = 0;
+  bool stop_ XATPG_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor, before any worker can observe the pool;
+  // joined by the destructor after stop_ is published under mutex_.
   std::vector<std::thread> workers_;
 };
 

@@ -28,6 +28,16 @@
 // engine's per-fault searches are shard-independent), and the consumer
 // commits outcomes in item-list order after the fan-out, so any steal
 // interleaving — and any thread count — yields byte-identical results.
+//
+// Publication protocol: this structure is lock-free, so the mutex-based
+// thread-safety annotations from util/annotations.hpp do not apply (see the
+// conventions note there); the TSan CI job checks it instead.  The frozen
+// `items_`/`blocks_` arrays are published to workers by the thread-creation
+// happens-before edge (construction completes before any worker starts, and
+// both are immutable afterwards).  The only mutable shared state is the
+// packed head|tail cursor per deque — claims race on it with a single CAS,
+// and relaxed ordering suffices because a claim transfers INDICES into the
+// immutable arrays, never data written after construction.
 #pragma once
 
 #include <algorithm>

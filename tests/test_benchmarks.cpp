@@ -52,7 +52,7 @@ TEST(FixtureCircuits, ValidateAndRoundTrip) {
        {fixtures::fig1a(), fixtures::fig1b(), fixtures::chain(),
         fixtures::celem(), fixtures::async_latch(), fixtures::pipeline2(),
         fixtures::random_netlist(3)}) {
-    fix.netlist.validate();
+    fix.netlist.check_invariants();
     EXPECT_TRUE(fix.netlist.is_stable_state(fix.reset)) << fix.netlist.name();
     const Netlist reparsed = parse_xnl_string(write_xnl_string(fix.netlist));
     EXPECT_EQ(reparsed.num_signals(), fix.netlist.num_signals())
@@ -86,7 +86,7 @@ TEST_P(BenchmarkSpecTest, HasQuiescentResetState) {
 
 TEST_P(BenchmarkSpecTest, SynthesizesSpeedIndependent) {
   const SynthResult r = benchmark_circuit(GetParam(), SynthStyle::SpeedIndependent);
-  r.netlist.validate();
+  r.netlist.check_invariants();
   EXPECT_TRUE(r.netlist.is_stable_state(r.reset_state));
   EXPECT_FALSE(r.netlist.inputs().empty());
   EXPECT_FALSE(r.netlist.outputs().empty());
@@ -94,7 +94,7 @@ TEST_P(BenchmarkSpecTest, SynthesizesSpeedIndependent) {
 
 TEST_P(BenchmarkSpecTest, SynthesizesBoundedDelay) {
   const SynthResult r = benchmark_circuit(GetParam(), SynthStyle::BoundedDelay);
-  r.netlist.validate();
+  r.netlist.check_invariants();
   EXPECT_TRUE(r.netlist.is_stable_state(r.reset_state));
 }
 
@@ -178,8 +178,8 @@ TEST_P(BenchmarkSpecTest, SiImplementationFollowsSgBehaviour) {
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkSpecTest,
                          ::testing::ValuesIn(si_benchmark_names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

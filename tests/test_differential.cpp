@@ -137,7 +137,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{"celem", &fixtures::celem},
                       std::pair{"latch", &fixtures::async_latch},
                       std::pair{"pipeline2", &fixtures::pipeline2}),
-    [](const auto& info) { return std::string(info.param.first); });
+    [](const auto& param_info) { return std::string(param_info.param.first); });
 
 class RandomCssgDifferential : public ::testing::TestWithParam<std::uint64_t> {
 };

@@ -65,7 +65,7 @@ INSTANTIATE_TEST_SUITE_P(
         // Two-stage pipeline controller: 2 racy pairs pruned.
         CssgGolden{"pipeline2", fixtures::pipeline2, 24, 5, 7, 26, 8, 25, 2, 0,
                    23, 8}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 // --- BDD manager node accounting ---------------------------------------------
 
@@ -89,11 +89,11 @@ TEST(BddGolden, FreshManagerBaseline) {
   // first var() use, and nvar shares var's node through a complement.
   BddManager mgr(8);
   EXPECT_EQ(mgr.allocated_nodes(), 1u);
-  mgr.var(0);
+  (void)mgr.var(0);
   EXPECT_EQ(mgr.allocated_nodes(), 2u);
-  mgr.var(0);  // cached: no new node
+  (void)mgr.var(0);  // cached: no new node
   EXPECT_EQ(mgr.allocated_nodes(), 2u);
-  mgr.nvar(0);  // a complemented edge: still no new node
+  (void)mgr.nvar(0);  // a complemented edge: still no new node
   EXPECT_EQ(mgr.allocated_nodes(), 2u);
 }
 

@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(Suite, EndToEnd,
                          ::testing::Values("rpdft", "dff", "chu150",
                                            "rcv-setup", "converta", "vbe5b",
                                            "ebergen", "nowick", "seq4"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

@@ -19,7 +19,7 @@ TEST(Netlist, BuildByHand) {
   const SignalId b = n.add_input("B");
   const SignalId g = n.add_gate(GateType::And, "g", {a, b});
   n.set_output(g);
-  n.validate();
+  n.check_invariants();
   EXPECT_EQ(n.num_signals(), 3u);
   EXPECT_EQ(n.inputs().size(), 2u);
   EXPECT_EQ(n.outputs().size(), 1u);
@@ -41,7 +41,7 @@ TEST(Netlist, UndefinedSignalFailsValidation) {
   const SignalId a = n.add_input("A");
   const SignalId ghost = n.declare_signal("ghost");
   n.add_gate(GateType::Or, "g", {a, ghost});
-  EXPECT_THROW(n.validate(), CheckError);
+  EXPECT_THROW(n.check_invariants(), CheckError);
 }
 
 TEST(Netlist, FindSignal) {
@@ -60,7 +60,7 @@ TEST(Netlist, GateEvalBasics) {
   const SignalId g_nor = n.add_gate(GateType::Nor, "g_nor", {a, b});
   const SignalId g_xor = n.add_gate(GateType::Xor, "g_xor", {a, b});
   const SignalId g_c = n.add_gate(GateType::Celem, "g_c", {a, b});
-  n.validate();
+  n.check_invariants();
 
   std::vector<bool> st(n.num_signals(), false);
   auto set = [&](SignalId s, bool v) { st[s] = v; };
@@ -93,7 +93,7 @@ TEST(Netlist, SopGateEval) {
   // f = A B' + C
   Cover cover{Cube{{1, 0, -1}}, Cube{{-1, -1, 1}}};
   const SignalId f = n.add_sop("f", {a, b, c}, cover);
-  n.validate();
+  n.check_invariants();
   std::vector<bool> st(n.num_signals(), false);
   EXPECT_FALSE(n.eval_gate_bool(f, st));
   st[a] = true;
@@ -111,7 +111,7 @@ TEST(Netlist, GcGateEval) {
   // set = A B, reset = A' B'  (the C-element as a gC)
   const SignalId q =
       n.add_gc("q", {a, b}, Cover{Cube{{1, 1}}}, Cover{Cube{{0, 0}}});
-  n.validate();
+  n.check_invariants();
   std::vector<bool> st(n.num_signals(), false);
   // Hold at 0 on mixed input.
   st[a] = true;
@@ -267,7 +267,7 @@ TEST(NetlistParser, RejectsRedefinedSignal) {
 
 TEST(NetlistParser, RejectsUndrivenOutput) {
   // `.outputs ghost` declares the signal but nothing ever defines it; the
-  // final validate() pass must reject the netlist.
+  // final check_invariants() pass must reject the netlist.
   const char* text = R"(
 .model bad
 .inputs A
@@ -367,7 +367,7 @@ TEST(NetlistAnalysis, TopoOrderRespectsDependencies) {
   const SignalId a = n.add_input("A");
   const SignalId x = n.add_gate(GateType::Not, "x", {a});
   const SignalId y = n.add_gate(GateType::Not, "y", {x});
-  n.validate();
+  n.check_invariants();
   const auto order = n.topo_order({});
   const auto pos = [&](SignalId s) {
     return std::find(order.begin(), order.end(), s) - order.begin();
@@ -402,7 +402,7 @@ TEST(GateTypes, MajGate) {
   const SignalId b = n.add_input("B");
   const SignalId c = n.add_input("C");
   const SignalId m = n.add_gate(GateType::Maj, "m", {a, b, c});
-  n.validate();
+  n.check_invariants();
   for (int bits = 0; bits < 8; ++bits) {
     std::vector<bool> st(n.num_signals(), false);
     st[a] = bits & 1;

@@ -141,8 +141,8 @@ TEST_P(FaultEquivalence, MaterializedNetlistMatchesLaneInjection) {
 INSTANTIATE_TEST_SUITE_P(Circuits, FaultEquivalence,
                          ::testing::Values("rpdft", "dff", "rcv-setup",
                                            "vbe5b"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;
@@ -251,8 +251,8 @@ TEST_P(CssgDeterminism, ImagePreimageAdjoint) {
 INSTANTIATE_TEST_SUITE_P(Circuits, CssgDeterminism,
                          ::testing::Values("rpdft", "chu150", "ebergen",
                                            "seq4", "mmu", "vbe5b"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;
@@ -314,8 +314,8 @@ TEST_P(ImplementationFidelity, BothStylesComputeTheSameNextState) {
 
 INSTANTIATE_TEST_SUITE_P(Circuits, ImplementationFidelity,
                          ::testing::ValuesIn(si_benchmark_names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

@@ -327,8 +327,8 @@ TEST_P(CssgBenchmark, OperationVectorsAreValid) {
 INSTANTIATE_TEST_SUITE_P(SmallBenchmarks, CssgBenchmark,
                          ::testing::Values("rpdft", "dff", "rcv-setup",
                                            "chu150", "converta", "vbe5b"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

@@ -1,0 +1,104 @@
+#include "XatpgTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xatpg {
+namespace {
+
+/// src/bdd/ owns the complement-edge encoding and is exempt.
+bool inKernel(const SourceManager& SM, SourceLocation Loc) {
+  const StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
+  return File.contains("src/bdd/") || File.contains("src\\bdd\\");
+}
+
+/// True when the expression reads a packed edge word: a call to
+/// Bdd::index(), or a variable/member whose name contains "edge".
+bool isEdgeWord(const Expr* E) {
+  if (E == nullptr) return false;
+  E = E->IgnoreParenImpCasts();
+  if (const auto* Call = dyn_cast<CXXMemberCallExpr>(E)) {
+    const CXXMethodDecl* MD = Call->getMethodDecl();
+    if (MD != nullptr && MD->getName() == "index") {
+      const CXXRecordDecl* RD = MD->getParent();
+      return RD != nullptr && RD->getName() == "Bdd";
+    }
+    return false;
+  }
+  const auto nameHasEdge = [](StringRef Name) {
+    return Name.lower().find("edge") != std::string::npos;
+  };
+  if (const auto* Ref = dyn_cast<DeclRefExpr>(E))
+    return Ref->getDecl() != nullptr && nameHasEdge(Ref->getDecl()->getName());
+  if (const auto* Member = dyn_cast<MemberExpr>(E))
+    return nameHasEdge(Member->getMemberDecl()->getName());
+  return false;
+}
+
+}  // namespace
+
+void RawEdgeArithCheck::registerMatchers(MatchFinder* Finder) {
+  // (x << 1) | c — the canonical packing idiom is flagged regardless of
+  // operand names; nothing outside the kernel legitimately builds it.
+  Finder->addMatcher(
+      binaryOperator(hasOperatorName("|"),
+                     hasLHS(ignoringParenImpCasts(binaryOperator(
+                         hasOperatorName("<<"),
+                         hasRHS(ignoringParenImpCasts(
+                             integerLiteral(equals(1))))))))
+          .bind("pack"),
+      this);
+
+  // Shift / mask / flip arithmetic where an operand is an edge word and the
+  // partner is an integer constant (or another edge word).
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("<<", ">>", "&", "|", "^"))
+          .bind("arith"),
+      this);
+}
+
+void RawEdgeArithCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+
+  if (const auto* Pack = Result.Nodes.getNodeAs<BinaryOperator>("pack")) {
+    if (inKernel(SM, Pack->getOperatorLoc())) return;
+    diag(Pack->getOperatorLoc(),
+         "packed-edge construction '(node << 1) | complement' outside "
+         "src/bdd/ — the complement-edge encoding is kernel-private; use "
+         "the Bdd/BddManager API");
+    return;
+  }
+
+  const auto* Op = Result.Nodes.getNodeAs<BinaryOperator>("arith");
+  if (Op == nullptr || inKernel(SM, Op->getOperatorLoc())) return;
+
+  const Expr* Lhs = Op->getLHS()->IgnoreParenImpCasts();
+  const Expr* Rhs = Op->getRHS()->IgnoreParenImpCasts();
+  const bool LhsEdge = isEdgeWord(Lhs);
+  const bool RhsEdge = isEdgeWord(Rhs);
+  const auto isIntConst = [&](const Expr* E) {
+    return E->isIntegerConstantExpr(*Result.Context);
+  };
+
+  bool Flag = false;
+  if (Op->isShiftOp()) {
+    // edge >> 1 / edge << 1; streaming into an ostream never has an integer
+    // constant distance on the right.
+    Flag = LhsEdge && isIntConst(Rhs);
+  } else {
+    Flag = (LhsEdge && (RhsEdge || isIntConst(Rhs))) ||
+           (RhsEdge && isIntConst(Lhs));
+  }
+  if (!Flag) return;
+
+  diag(Op->getOperatorLoc(),
+       "bit %select{arithmetic|shift}0 ('%1') on a packed BDD edge value "
+       "outside src/bdd/ — the complement-edge encoding is kernel-private; "
+       "use the Bdd/BddManager API")
+      << (Op->isShiftOp() ? 1 : 0) << Op->getOpcodeStr();
+}
+
+}  // namespace clang::tidy::xatpg

@@ -1,0 +1,117 @@
+#include "XatpgTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xatpg {
+namespace {
+
+/// Trace a Bdd-typed expression back to the local BddManager variable it was
+/// produced from, looking through implicit casts, parentheses, copy
+/// construction, and chains of `Bdd x = <expr on manager m>;` initialisers.
+/// Returns nullptr when the owner cannot be determined (e.g. a parameter) —
+/// unknown owners are never reported, keeping the check conservative.
+const VarDecl* managerOf(const Expr* E, unsigned Depth = 0) {
+  if (E == nullptr || Depth > 16) return nullptr;
+  E = E->IgnoreParenImpCasts();
+
+  // m.var(0), m.ite(...), ... : the implicit object argument is the owner.
+  if (const auto* Call = dyn_cast<CXXMemberCallExpr>(E)) {
+    const Expr* Obj = Call->getImplicitObjectArgument();
+    if (Obj == nullptr) return nullptr;
+    Obj = Obj->IgnoreParenImpCasts();
+    if (const auto* Ref = dyn_cast<DeclRefExpr>(Obj)) {
+      if (const auto* VD = dyn_cast<VarDecl>(Ref->getDecl())) {
+        const auto* RD = VD->getType()->getAsCXXRecordDecl();
+        if (RD != nullptr && RD->getName() == "BddManager") return VD;
+        // A Bdd receiver (b.low(), f & g via member operator): recurse into
+        // the receiver's own provenance.
+        return managerOf(Obj, Depth + 1);
+      }
+    }
+    return nullptr;
+  }
+
+  // Copy/move construction wraps the source expression.
+  if (const auto* Construct = dyn_cast<CXXConstructExpr>(E)) {
+    if (Construct->getNumArgs() == 1)
+      return managerOf(Construct->getArg(0), Depth + 1);
+    return nullptr;
+  }
+
+  // A named Bdd variable: follow its initialiser.
+  if (const auto* Ref = dyn_cast<DeclRefExpr>(E)) {
+    if (const auto* VD = dyn_cast<VarDecl>(Ref->getDecl())) {
+      if (VD->hasInit()) return managerOf(VD->getInit(), Depth + 1);
+    }
+    return nullptr;
+  }
+
+  // f & g, f | g, ... : either side determines the owner.
+  if (const auto* Op = dyn_cast<CXXOperatorCallExpr>(E)) {
+    for (const Expr* Arg : Op->arguments()) {
+      if (const VarDecl* VD = managerOf(Arg, Depth + 1)) return VD;
+    }
+  }
+  return nullptr;
+}
+
+AST_MATCHER(CXXRecordDecl, isBddHandle) { return Node.getName() == "Bdd"; }
+
+}  // namespace
+
+void SameManagerCheck::registerMatchers(MatchFinder* Finder) {
+  const auto BddType = hasType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(cxxRecordDecl(isBddHandle())))));
+
+  // Bdd operator&/|/^ with Bdd operands.
+  Finder->addMatcher(
+      cxxOperatorCallExpr(hasAnyOperatorName("&", "|", "^"),
+                          argumentCountIs(2), hasArgument(0, expr(BddType)),
+                          hasArgument(1, expr(BddType)))
+          .bind("binop"),
+      this);
+
+  // BddManager method calls taking Bdd arguments.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          on(declRefExpr(to(varDecl(hasType(cxxRecordDecl(
+                                        hasName("BddManager"))))
+                                .bind("recv")))))
+          .bind("call"),
+      this);
+}
+
+void SameManagerCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Op = Result.Nodes.getNodeAs<CXXOperatorCallExpr>("binop")) {
+    const VarDecl* Lhs = managerOf(Op->getArg(0));
+    const VarDecl* Rhs = managerOf(Op->getArg(1));
+    if (Lhs != nullptr && Rhs != nullptr && Lhs != Rhs) {
+      diag(Op->getOperatorLoc(),
+           "operands of this Bdd operation belong to different BddManagers "
+           "('%0' vs '%1') — BDD operands must share one manager (the kernel "
+           "XATPG_CHECKs this at runtime; fix the call site)")
+          << Lhs->getName() << Rhs->getName();
+    }
+    return;
+  }
+
+  const auto* Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+  const auto* Recv = Result.Nodes.getNodeAs<VarDecl>("recv");
+  if (Call == nullptr || Recv == nullptr) return;
+  for (const Expr* Arg : Call->arguments()) {
+    const VarDecl* Owner = managerOf(Arg);
+    if (Owner != nullptr && Owner != Recv) {
+      diag(Arg->getExprLoc(),
+           "argument belongs to BddManager '%0' but the operation runs on "
+           "'%1' — BDD operands must share one manager (the kernel "
+           "XATPG_CHECKs this at runtime; fix the call site)")
+          << Owner->getName() << Recv->getName();
+      return;
+    }
+  }
+}
+
+}  // namespace clang::tidy::xatpg

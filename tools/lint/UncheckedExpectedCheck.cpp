@@ -1,0 +1,121 @@
+#include "XatpgTidyChecks.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::xatpg {
+namespace {
+
+/// The VarDecl a member call like `x.value()` / `x.has_value()` is made on,
+/// or nullptr when the receiver is not a plain variable reference.
+const VarDecl* receiverVar(const CXXMemberCallExpr* Call) {
+  const Expr* Obj = Call->getImplicitObjectArgument();
+  if (Obj == nullptr) return nullptr;
+  Obj = Obj->IgnoreParenImpCasts();
+  if (const auto* Ref = dyn_cast<DeclRefExpr>(Obj))
+    return dyn_cast<VarDecl>(Ref->getDecl());
+  return nullptr;
+}
+
+/// Recursively scan `S` (stopping at `Until`) for a dominating check of
+/// `Var`: a has_value()/error() member call, or a boolean conversion in an
+/// if/while/XATPG_CHECK condition.  Statements after `Until` in source order
+/// cannot dominate it and are ignored.
+class CheckScanner {
+ public:
+  CheckScanner(const VarDecl* Var, const Stmt* Until, const SourceManager& SM)
+      : Var(Var), Until(Until), SM(SM) {}
+
+  bool found() const { return Found; }
+
+  void scan(const Stmt* S) {
+    if (S == nullptr || Found || Done) return;
+    if (S == Until) {
+      Done = true;
+      return;
+    }
+    if (const auto* Call = dyn_cast<CXXMemberCallExpr>(S)) {
+      if (receiverVar(Call) == Var) {
+        const CXXMethodDecl* MD = Call->getMethodDecl();
+        if (MD != nullptr &&
+            (MD->getName() == "has_value" || MD->getName() == "error"))
+          Found = true;
+      }
+    }
+    if (const auto* Conv = dyn_cast<CXXMemberCallExpr>(S)) {
+      if (isa_and_nonnull<CXXConversionDecl>(Conv->getMethodDecl()) &&
+          receiverVar(Conv) == Var)
+        Found = true;  // explicit operator bool() in a condition
+    }
+    for (const Stmt* Child : S->children()) scan(Child);
+  }
+
+ private:
+  const VarDecl* Var;
+  const Stmt* Until;
+  const SourceManager& SM;
+  bool Found = false;
+  bool Done = false;
+};
+
+AST_MATCHER(CXXRecordDecl, isExpected) {
+  return Node.getName() == "Expected";
+}
+
+}  // namespace
+
+void UncheckedExpectedCheck::registerMatchers(MatchFinder* Finder) {
+  const auto ExpectedType = hasType(hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(isExpected())))));
+
+  // A whole-statement discard: the Expected-returning call is itself a
+  // child of a CompoundStmt (not assigned, returned, or tested).
+  Finder->addMatcher(
+      compoundStmt(forEach(
+          expr(anyOf(cxxMemberCallExpr(ExpectedType), callExpr(ExpectedType)))
+              .bind("discard"))),
+      this);
+
+  // x.value() where x is a local Expected variable.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasName("value"),
+                                             ofClass(isExpected()))),
+                        forFunction(functionDecl().bind("fn")))
+          .bind("value"),
+      this);
+}
+
+void UncheckedExpectedCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Discard = Result.Nodes.getNodeAs<Expr>("discard")) {
+    diag(Discard->getExprLoc(),
+         "result of '%0' (an Expected) is discarded — check has_value() or "
+         "propagate the error")
+        << (isa<CXXMemberCallExpr>(Discard) &&
+                    cast<CXXMemberCallExpr>(Discard)->getMethodDecl() != nullptr
+                ? cast<CXXMemberCallExpr>(Discard)
+                      ->getMethodDecl()
+                      ->getName()
+                : StringRef("this call"));
+    return;
+  }
+
+  const auto* Value = Result.Nodes.getNodeAs<CXXMemberCallExpr>("value");
+  const auto* Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (Value == nullptr || Fn == nullptr || !Fn->hasBody()) return;
+  const VarDecl* Var = receiverVar(Value);
+  if (Var == nullptr) return;
+
+  CheckScanner Scanner(Var, Value, *Result.SourceManager);
+  Scanner.scan(Fn->getBody());
+  if (Scanner.found()) return;
+
+  diag(Value->getExprLoc(),
+       "'%0.value()' has no dominating has_value()/boolean check of '%0' — "
+       "an errored Expected would throw here")
+      << Var->getName();
+}
+
+}  // namespace clang::tidy::xatpg

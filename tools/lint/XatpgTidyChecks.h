@@ -1,0 +1,50 @@
+// Declarations of the xatpg clang-tidy checks.
+//
+// These are the authoritative, AST-level implementations of the three
+// project-specific checks; fallback_lint.cpp re-implements the same rules as
+// a token scanner for toolchains without clang-tidy development headers.
+// Both share check names, diagnostics vocabulary, and fixture files under
+// fixtures/, so either implementation can drive the lit-style expectations.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::xatpg {
+
+/// xatpg-same-manager: flags Bdd binary operations (operator&/|/^ and
+/// BddManager method calls) whose operands trace back to *different* local
+/// BddManager objects.  Mixing managers is undefined behaviour that the
+/// kernel can only catch at runtime via XATPG_CHECK; this surfaces it at
+/// lint time.  Ownership is traced through Bdd copy-initialisation chains.
+class SameManagerCheck : public ClangTidyCheck {
+ public:
+  SameManagerCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// xatpg-raw-edge-arith: flags bit arithmetic on packed complement-edge
+/// words — `(node << 1) | c`, `edge >> 1`, `edge & 1`, `b.index() ^ 1` —
+/// in any file outside src/bdd/.  The encoding is kernel-private; everything
+/// above the kernel must go through the Bdd handle API.
+class RawEdgeArithCheck : public ClangTidyCheck {
+ public:
+  RawEdgeArithCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// xatpg-unchecked-expected: flags Expected<T> results that are discarded
+/// outright, and `.value()` unwraps with no dominating `has_value()` /
+/// boolean test of the same variable earlier in the enclosing function.
+class UncheckedExpectedCheck : public ClangTidyCheck {
+ public:
+  UncheckedExpectedCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::xatpg

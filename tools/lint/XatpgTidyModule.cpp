@@ -1,0 +1,38 @@
+// clang-tidy plugin module registering the xatpg-* checks.
+//
+// Build (requires clang-tidy development headers; see CMakeLists.txt in this
+// directory — the build is skipped with a loud notice when they are absent):
+//
+//   cmake -B build -S . -DXATPG_BUILD_TIDY_PLUGIN=ON
+//   clang-tidy --load build/tools/lint/libXatpgTidyModule.so \
+//              --checks='-*,xatpg-*' <file>...
+//
+// or use tools/lint/run_clang_tidy.sh, which locates the plugin and the
+// compile database automatically.
+#include "XatpgTidyChecks.h"
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace xatpg {
+
+class XatpgModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<SameManagerCheck>("xatpg-same-manager");
+    CheckFactories.registerCheck<RawEdgeArithCheck>("xatpg-raw-edge-arith");
+    CheckFactories.registerCheck<UncheckedExpectedCheck>(
+        "xatpg-unchecked-expected");
+  }
+};
+
+}  // namespace xatpg
+
+static ClangTidyModuleRegistry::Add<xatpg::XatpgModule> X(
+    "xatpg-module", "Adds xatpg project-specific lint checks.");
+
+// Anchor the module so --load keeps the registration alive.
+volatile int XatpgModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,55 @@
+// Negative fixtures for xatpg-raw-edge-arith: everything here is legal and
+// must produce zero diagnostics.  Bit arithmetic on values that are not
+// packed edge words, stream shifts, reference declarators, and NOLINT'd
+// kernel-style code are all fine outside src/bdd/.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "xatpg_stub.hpp"
+
+struct GraphEdge {
+  int to = 0;
+  std::uint32_t edge_word = 0;
+};
+
+struct Graph {
+  std::vector<GraphEdge> edges;
+};
+
+// Ordinary bit arithmetic on non-edge values is not the kernel encoding.
+std::uint32_t hash_combine(std::uint32_t seed, std::uint32_t v) {
+  seed ^= v + 0x9e3779b9u + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+std::uint32_t align_up(std::uint32_t n) { return (n + 7u) & ~7u; }
+
+// A wider shift is not the (node << 1) | c packing.
+std::uint64_t pack_pair(std::uint32_t head, std::uint32_t tail) {
+  return (static_cast<std::uint64_t>(head) << 32) | tail;
+}
+
+// Stream insertion of an edge-named value is a shift token but not edge
+// arithmetic: the right operand is neither a literal nor an edge word.
+void dump(std::ostream& os, const Graph& graph) {
+  for (const auto& edge : graph.edges) {
+    os << edge.to << '\n';
+  }
+}
+
+// Reference declarators use '&' as part of the type, not as an operator.
+std::uint32_t first_word(const Graph& graph) {
+  const auto& edge = graph.edges.front();
+  return edge.edge_word;
+}
+
+// Logical and compound forms are never bit arithmetic.
+bool both_set(bool edge_live, bool edge_marked) {
+  return edge_live && edge_marked;
+}
+
+// Kernel-style code that genuinely must touch the encoding documents it.
+std::uint32_t sanctioned_peek(std::uint32_t edge) {
+  return edge >> 1;  // NOLINT(xatpg-raw-edge-arith) mirrors kernel helper
+}

@@ -1,0 +1,36 @@
+// Positive fixtures for xatpg-raw-edge-arith: bit arithmetic on packed
+// complement-edge words ((node << 1) | complement) outside src/bdd/ must be
+// flagged — the encoding is kernel-private.
+#include <cstdint>
+
+#include "xatpg_stub.hpp"
+
+std::uint32_t repack_by_hand(std::uint32_t node, bool complement) {
+  return (node << 1) | static_cast<std::uint32_t>(complement);
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: packed-edge construction [xatpg-raw-edge-arith]
+}
+
+std::uint32_t peel_node_index(std::uint32_t edge) {
+  return edge >> 1;
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: bit shift [xatpg-raw-edge-arith]
+}
+
+bool read_complement_bit(std::uint32_t edge) {
+  return (edge & 1u) != 0;
+  // CHECK-MESSAGES: :[[@LINE-1]]:11: warning: bit arithmetic [xatpg-raw-edge-arith]
+}
+
+std::uint32_t negate_in_place(std::uint32_t edge_word) {
+  return edge_word ^ 1u;
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: bit arithmetic [xatpg-raw-edge-arith]
+}
+
+std::uint32_t flip_a_handles_raw_word(const xatpg::Bdd& b) {
+  return b.index() ^ 1u;
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: bit arithmetic [xatpg-raw-edge-arith]
+}
+
+std::uint32_t regularize(const xatpg::Bdd& b) {
+  return b.index() & ~1u;
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: bit arithmetic [xatpg-raw-edge-arith]
+}

@@ -1,0 +1,44 @@
+// Negative fixtures for xatpg-same-manager: everything here is legal and
+// must produce zero diagnostics — two managers may coexist as long as no
+// operation mixes their handles, and NOLINT silences an intentional mix.
+#include "xatpg_stub.hpp"
+
+using xatpg::Bdd;
+using xatpg::BddManager;
+
+void two_managers_kept_apart() {
+  BddManager m1;
+  BddManager m2;
+  Bdd a1 = m1.var(0);
+  Bdd b1 = m1.var(1);
+  Bdd a2 = m2.var(0);
+  Bdd b2 = m2.var(1);
+
+  Bdd fine1 = a1 & b1;
+  Bdd fine2 = a2 | b2;
+  Bdd fine3 = m1.ite(a1, b1, fine1);
+  Bdd fine4 = m2.apply_and(a2, fine2);
+  (void)fine3;
+  (void)fine4;
+}
+
+void copies_inherit_the_owner() {
+  BddManager m1;
+  BddManager m2;
+  Bdd a = m1.var(0);
+  Bdd b = a;
+  Bdd c = a & b;
+  Bdd other = m2.var(0);
+  Bdd d = m2.apply_or(other, other);
+  (void)c;
+  (void)d;
+}
+
+void suppressed_with_nolint() {
+  BddManager m1;
+  BddManager m2;
+  Bdd a = m1.var(0);
+  Bdd b = m2.var(0);
+  Bdd deliberate = a & b;  // NOLINT(xatpg-same-manager) — death-test pattern
+  (void)deliberate;
+}

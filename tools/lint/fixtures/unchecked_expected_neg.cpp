@@ -1,0 +1,46 @@
+// Negative fixtures for xatpg-unchecked-expected: every unwrap below is
+// dominated by a check of the same variable, and every Expected result is
+// consumed — zero diagnostics expected.
+#include "xatpg_stub.hpp"
+
+using xatpg::Error;
+using xatpg::Expected;
+using xatpg::Options;
+
+Expected<int> parse_depth(int raw) {
+  if (raw < 0) return Error{2};
+  return raw;
+}
+
+int assigned_and_tested(const Options& opts, int raw) {
+  Expected<void> ok = opts.validate();
+  if (!ok) return -1;
+  Expected<int> depth = parse_depth(raw);
+  if (!depth) return -1;
+  return depth.value();
+}
+
+int dominated_by_has_value(int raw) {
+  Expected<int> depth = parse_depth(raw);
+  if (depth.has_value()) {
+    return depth.value();
+  }
+  return 0;
+}
+
+int same_line_ternary(int raw) {
+  Expected<int> depth = parse_depth(raw);
+  return depth.has_value() ? depth.value() : 0;
+}
+
+int error_branch_dominates(int raw) {
+  Expected<int> depth = parse_depth(raw);
+  if (!depth.has_value()) {
+    return -depth.error().code;
+  }
+  return depth.value();
+}
+
+void intentionally_ignored(const Options& opts) {
+  opts.validate();  // NOLINT(xatpg-unchecked-expected) probing for aborts
+}

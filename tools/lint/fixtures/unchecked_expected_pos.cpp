@@ -1,0 +1,41 @@
+// Positive fixtures for xatpg-unchecked-expected: discarding an Expected<T>
+// result, or unwrapping one with .value() without a dominating has_value() /
+// boolean check, must be flagged.
+#include "xatpg_stub.hpp"
+
+using xatpg::Error;
+using xatpg::Expected;
+using xatpg::Options;
+
+Expected<int> parse_width(int raw) {
+  if (raw < 0) return Error{1};
+  return raw;
+}
+
+void discards_validate_result(const Options& opts) {
+  opts.validate();
+  // CHECK-MESSAGES: :[[@LINE-1]]:3: warning: result of 'validate' (an Expected) is discarded [xatpg-unchecked-expected]
+}
+
+int unwraps_without_any_check(int raw) {
+  Expected<int> width = parse_width(raw);
+  return width.value();
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: has no dominating has_value()/boolean check [xatpg-unchecked-expected]
+}
+
+int check_of_a_different_variable(int raw) {
+  Expected<int> lhs = parse_width(raw);
+  Expected<int> rhs = parse_width(raw + 1);
+  if (!lhs) return 0;
+  return rhs.value();
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: has no dominating has_value()/boolean check [xatpg-unchecked-expected]
+}
+
+int check_does_not_outlive_its_block(int raw) {
+  Expected<int> width = parse_width(raw);
+  {
+    if (!width) return 0;
+  }
+  return width.value();
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: has no dominating has_value()/boolean check [xatpg-unchecked-expected]
+}

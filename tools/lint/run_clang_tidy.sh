@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the xatpg tree with the project .clang-tidy config,
+# loading the custom xatpg-* plugin when it has been built.
+#
+# Usage: tools/lint/run_clang_tidy.sh [build-dir] [file...]
+#
+#   build-dir   directory holding compile_commands.json (default: build)
+#   file...     sources to lint (default: all src/ + tools/xatpg_cli.cpp)
+#
+# Exits 0 when clang-tidy is clean, 1 on diagnostics, 2 when the toolchain
+# is unusable (no clang-tidy, no compile database) — CI treats 2 as a loud
+# skip, not a pass.
+set -u
+
+BUILD_DIR=${1:-build}
+[ $# -gt 0 ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: SKIP — clang-tidy not installed" >&2
+    exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_clang_tidy: SKIP — $BUILD_DIR/compile_commands.json missing" \
+         "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+    exit 2
+fi
+
+LOAD_ARGS=""
+for candidate in \
+    "$BUILD_DIR/tools/lint/libXatpgTidyModule.so" \
+    "$BUILD_DIR/tools/lint/libXatpgTidyModule.dylib"; do
+    if [ -f "$candidate" ]; then
+        LOAD_ARGS="--load=$candidate"
+        echo "run_clang_tidy: loading xatpg plugin $candidate" >&2
+        break
+    fi
+done
+if [ -z "$LOAD_ARGS" ]; then
+    echo "run_clang_tidy: xatpg plugin not built — running base checks only" \
+         "(configure with -DXATPG_BUILD_TIDY_PLUGIN=ON where clang-tidy" \
+         "dev headers exist)" >&2
+fi
+
+if [ $# -eq 0 ]; then
+    set -- $(find src tools/xatpg_cli.cpp -name '*.cpp' 2>/dev/null)
+fi
+
+# shellcheck disable=SC2086  # LOAD_ARGS is intentionally word-split (0/1 arg)
+clang-tidy $LOAD_ARGS -p "$BUILD_DIR" --quiet "$@"
+status=$?
+[ $status -eq 0 ] && echo "run_clang_tidy: clean ($# file(s))"
+exit $status
