@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -32,6 +33,16 @@
 #include "xatpg/types.hpp"
 
 namespace xatpg {
+
+/// numerator / denominator with a uniform guard: 0 when the denominator is
+/// zero or the quotient is non-finite.  Every derived rate in the public
+/// surface (cache hit rate, sweep speedup/efficiency) goes through this so
+/// zero-work runs and degenerate inputs can never produce NaN/inf.
+[[nodiscard]] inline double safe_ratio(double numerator, double denominator) {
+  if (denominator == 0.0) return 0.0;
+  const double ratio = numerator / denominator;
+  return std::isfinite(ratio) ? ratio : 0.0;
+}
 
 /// Cooperative cancellation handle: a copyable reference to a shared flag.
 /// Copies observe the same flag; request_cancel() is safe from any thread.
@@ -76,8 +87,19 @@ constexpr const char* run_phase_name(RunPhase phase) {
 /// fault block stay at zero).
 struct ShardBddStats {
   std::size_t shard = 0;
-  std::size_t live_nodes = 0;   ///< allocated nodes (live + uncollected)
-  std::size_t peak_nodes = 0;   ///< allocated-node watermark
+  /// Resident nodes this shard can reference: the frozen shared base arena
+  /// plus its private delta arena (live + uncollected).
+  std::size_t live_nodes = 0;
+  /// Resident-node watermark: base_nodes + delta_peak.  NOTE: the base
+  /// arena is SHARED — summing peak_nodes across shards counts it once per
+  /// shard.  Corpus-level totals must use base_nodes once + Σ delta_peak.
+  std::size_t peak_nodes = 0;
+  /// Nodes in the frozen shared base arena this shard's delta resolves
+  /// against (identical for every shard of one engine; 0 for a monolithic
+  /// manager).
+  std::size_t base_nodes = 0;
+  /// This shard's private delta-arena allocated-node watermark.
+  std::size_t delta_peak = 0;
   std::size_t reorders = 0;     ///< sifting passes performed
   std::size_t faults_done = 0;  ///< 3-phase searches completed on this shard
   std::size_t cache_lookups = 0;  ///< computed-cache probes (cumulative)
@@ -92,10 +114,8 @@ struct ShardBddStats {
   /// Fraction of computed-cache probes answered from the cache (0 when the
   /// shard has not probed yet).
   [[nodiscard]] double cache_hit_rate() const {
-    return cache_lookups == 0
-               ? 0.0
-               : static_cast<double>(cache_hits) /
-                     static_cast<double>(cache_lookups);
+    return safe_ratio(static_cast<double>(cache_hits),
+                      static_cast<double>(cache_lookups));
   }
 };
 

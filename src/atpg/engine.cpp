@@ -79,8 +79,13 @@ ShardBddStats snapshot_shard(std::size_t shard, const BddManager& mgr,
                              std::size_t blocks_stolen = 0) {
   ShardBddStats stats;
   stats.shard = shard;
-  stats.live_nodes = mgr.allocated_nodes();
-  stats.peak_nodes = mgr.peak_nodes();
+  // For a delta manager allocated_nodes()/peak_nodes() cover the private
+  // delta arena only; the resident totals add the frozen shared base once.
+  // A monolithic manager has base_nodes() == 0, so the old semantics hold.
+  stats.base_nodes = mgr.base_nodes();
+  stats.delta_peak = mgr.peak_nodes();
+  stats.live_nodes = mgr.base_nodes() + mgr.allocated_nodes();
+  stats.peak_nodes = mgr.base_nodes() + mgr.peak_nodes();
   stats.reorders = mgr.reorder_count();
   stats.faults_done = faults_done;
   stats.cache_lookups = mgr.cache_lookups();
@@ -117,6 +122,13 @@ AtpgEngine::AtpgEngine(const Netlist& netlist,
   const auto reset_id = graph_.find(reset_state);
   XATPG_CHECK(reset_id.has_value());
   reset_id_ = *reset_id;
+  // Publication point: freeze the substrate before any worker thread can
+  // exist, so thread creation's happens-before edge covers the whole frozen
+  // arena.  Everything after this runs on delta views.
+  cssg_->freeze();
+  base_node_count_ = cssg_->encoding().mgr().allocated_nodes();
+  base_reorder_count_ = cssg_->encoding().mgr().reorder_count();
+  shard0_ = build_delta();
 }
 
 std::unique_ptr<Cssg> AtpgEngine::build_shard() const {
@@ -126,6 +138,10 @@ std::unique_ptr<Cssg> AtpgEngine::build_shard() const {
   cssg_options.reorder = options_.reorder;
   return std::make_unique<Cssg>(
       *netlist_, std::vector<std::vector<bool>>{reset_state_}, cssg_options);
+}
+
+std::unique_ptr<Cssg> AtpgEngine::build_delta() const {
+  return std::make_unique<Cssg>(*cssg_, BddManager::Delta{});
 }
 
 std::optional<std::vector<std::uint32_t>> AtpgEngine::follow(
@@ -263,7 +279,7 @@ bool AtpgEngine::provably_redundant_on(const Cssg& shard,
 }
 
 bool AtpgEngine::provably_redundant(const Fault& fault) const {
-  return provably_redundant_on(*cssg_, fault);
+  return provably_redundant_on(*shard0_, fault);
 }
 
 AtpgEngine::SearchOutcome AtpgEngine::generate_test_on(
@@ -314,7 +330,7 @@ AtpgEngine::SearchOutcome AtpgEngine::generate_test_on(
 
 std::optional<TestSequence> AtpgEngine::generate_test(
     const Fault& fault) const {
-  return generate_test_on(*cssg_, fault).sequence;
+  return generate_test_on(*shard0_, fault).sequence;
 }
 
 // ---------------------------------------------------------------------------
@@ -341,7 +357,7 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
   if (workers <= 1) {
     for (const std::size_t i : todo) {
       if (cancel_fired(cancel)) break;
-      generated[i] = generate_test_on(*cssg_, faults[i]);
+      generated[i] = generate_test_on(*shard0_, faults[i]);
       attempted[i] = 1;
       ++shard_done_[0];
     }
@@ -364,11 +380,12 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
       for (std::size_t w = 1; w < workers; ++w) {
         pool.submit([&, w] {
           try {
-            // Claim a block before (lazily) building the shard: a worker
-            // that never gets work must not pay for a full symbolic
-            // construction.
+            // Claim a block before (lazily) building the delta view: a
+            // worker that never gets work pays nothing at all.  View
+            // construction is cheap (handle adoption, no node copies) and
+            // reads only the frozen base, which thread creation published.
             while (const auto block = queue.pop_block(w)) {
-              if (!extra_shards_[w - 1]) extra_shards_[w - 1] = build_shard();
+              if (!extra_shards_[w - 1]) extra_shards_[w - 1] = build_delta();
               const Cssg& shard = *extra_shards_[w - 1];
               counters[w].steals.store(queue.steals(w),
                                        std::memory_order_relaxed);
@@ -406,24 +423,31 @@ void AtpgEngine::generate_parallel(const std::vector<Fault>& faults,
         while (const auto block = queue.pop_block(0)) {
           for (const std::size_t i : *block) {
             if (cancel_fired(cancel)) break;
-            generated[i] = generate_test_on(*cssg_, faults[i]);
+            generated[i] = generate_test_on(*shard0_, faults[i]);
             attempted[i] = 1;
             counters[0].done.fetch_add(1, std::memory_order_relaxed);
           }
           if (observer != nullptr) {
             RunProgress progress = make_base();
             progress.shards.push_back(snapshot_shard(
-                0, cssg_->encoding().mgr(),
+                0, shard0_->encoding().mgr(),
                 shard_done_[0] +
                     counters[0].done.load(std::memory_order_relaxed),
                 shard_steals_[0] + queue.steals(0)));
+            // Base sifting passes belong to shard 0 (counted once).
+            progress.shards.back().reorders += base_reorder_count_;
             for (std::size_t w = 1; w < workers; ++w) {
               ShardBddStats stats;
               stats.shard = w;
-              stats.live_nodes =
-                  counters[w].live.load(std::memory_order_relaxed);
-              stats.peak_nodes =
+              // Workers publish delta-arena counters only; the shared-base
+              // size is a frozen constant the main thread composes in.
+              stats.base_nodes = base_node_count_;
+              stats.delta_peak =
                   counters[w].peak.load(std::memory_order_relaxed);
+              stats.live_nodes =
+                  base_node_count_ +
+                  counters[w].live.load(std::memory_order_relaxed);
+              stats.peak_nodes = base_node_count_ + stats.delta_peak;
               stats.reorders =
                   counters[w].reorders.load(std::memory_order_relaxed);
               stats.faults_done =
@@ -471,9 +495,11 @@ std::vector<ShardBddStats> AtpgEngine::shard_bdd_stats() const {
     return w < v.size() ? v[w] : std::size_t{0};
   };
   std::vector<ShardBddStats> shards;
-  shards.push_back(snapshot_shard(0, cssg_->encoding().mgr(),
+  shards.push_back(snapshot_shard(0, shard0_->encoding().mgr(),
                                   count_of(shard_done_, 0),
                                   count_of(shard_steals_, 0)));
+  // Base sifting passes belong to shard 0 (counted once across shards).
+  shards.back().reorders += base_reorder_count_;
   for (std::size_t w = 0; w < extra_shards_.size(); ++w) {
     if (!extra_shards_[w]) continue;
     shards.push_back(snapshot_shard(w + 1, extra_shards_[w]->encoding().mgr(),
@@ -798,7 +824,7 @@ AtpgResult AtpgEngine::run_universe(RunObserver* observer,
     auto it = generated_cache_.find(faults[j]);
     if (it == generated_cache_.end())
       it = generated_cache_
-               .emplace(faults[j], generate_test_on(*cssg_, faults[j]))
+               .emplace(faults[j], generate_test_on(*shard0_, faults[j]))
                .first;
     if (!it->second.sequence.has_value())
       result.outcomes[j].sequence_index = *earlier;

@@ -12,11 +12,18 @@
 //
 // Parallel architecture: the 3-phase search is embarrassingly parallel
 // across the fault list, so run() fans it out over `threads` workers.
-//   * Each worker owns a private symbolic shard — a full Cssg (its own
-//     BddManager + SymbolicEncoding + relations) built once per worker from
-//     the shared read-only netlist and reused across run() calls.  BDD
-//     managers are single-threaded by contract (bdd/bdd.hpp); sharding
-//     sidesteps all symbolic-layer locking.
+//   * The constructor builds the shared symbolic substrate (encoding +
+//     CSSG relations + reachable sets) ONCE, then freezes its BddManager:
+//     the node arena, unique subtables and variable order become immutable
+//     and lock-free readable (the freeze is the publication point — see
+//     bdd/bdd.hpp's base/delta layering).  Each worker owns a lightweight
+//     *delta view* over that frozen base: substrate nodes resolve against
+//     the shared arena, fault-specific nodes allocate in a private delta
+//     arena, and GC runs on the delta only.  Workers therefore pay for the
+//     substrate zero times instead of once each — the old private-shard
+//     design multiplied the paper's peak-node accounting by the worker
+//     count.  BDD managers stay single-threaded by contract (bdd/bdd.hpp);
+//     only the read-only base is shared.
 //   * The explicit CSSG and the netlist are shared read-only by all workers
 //     (the const query path: ExplicitCssg lookups, FaultSimulator replay).
 //   * Faults are distributed through a work-stealing scheduler
@@ -83,7 +90,13 @@ class AtpgEngine {
   AtpgEngine(const Netlist& netlist, const std::vector<bool>& reset_state,
              const AtpgOptions& options = {});
 
-  const Cssg& cssg() const { return *cssg_; }
+  /// The main thread's delta view of the shared abstraction.  Queries on it
+  /// (to_dot, justify, image…) allocate in the view's private delta arena;
+  /// the frozen base underneath is never mutated.  Use base_cssg() to reach
+  /// the frozen substrate itself (handle reads only).
+  const Cssg& cssg() const { return *shard0_; }
+  /// The frozen shared base (read-only; mutating queries would throw).
+  const Cssg& base_cssg() const { return *cssg_; }
   const ExplicitCssg& graph() const { return graph_; }
   const AtpgOptions& options() const { return options_; }
 
@@ -161,8 +174,11 @@ class AtpgEngine {
   /// the shard's BddManager; phase 3 on the shared explicit graph).
   SearchOutcome generate_test_on(const Cssg& shard, const Fault& fault) const;
   bool provably_redundant_on(const Cssg& shard, const Fault& fault) const;
-  /// A fresh worker shard: the same Cssg the constructor builds.
+  /// The full monolithic Cssg the constructor builds (and then freezes into
+  /// the shared base).
   std::unique_ptr<Cssg> build_shard() const;
+  /// A fresh delta view over the frozen base — what every worker gets.
+  std::unique_ptr<Cssg> build_delta() const;
   /// The full deterministic flow over universe_ (shared by run/add_faults).
   AtpgResult run_universe(RunObserver* observer, const CancelToken* cancel);
   /// Fan the 3-phase search for `todo` (fault indices) out over the worker
@@ -193,11 +209,21 @@ class AtpgEngine {
   const Netlist* netlist_;
   std::vector<bool> reset_state_;
   AtpgOptions options_;
+  /// The shared symbolic substrate: built once by the constructor, then
+  /// frozen (immutable, lock-free readable).  Must outlive every delta view.
   std::unique_ptr<Cssg> cssg_;
+  /// The main thread's delta view over cssg_ (worker slot 0).
+  std::unique_ptr<Cssg> shard0_;
+  /// Frozen-base arena size and sifting-pass count, captured at freeze time
+  /// so worker-snapshot composition never touches the base manager from
+  /// another thread.  Base reorders are attributed to shard 0 (once), so
+  /// summing shard reorders across shards counts the base exactly once.
+  std::size_t base_node_count_ = 0;
+  std::size_t base_reorder_count_ = 0;
   ExplicitCssg graph_;
   std::uint32_t reset_id_ = 0;
-  /// Lazily built per-worker shards (slot w serves pool worker w); the main
-  /// thread always works on cssg_.  Reused by subsequent run() calls.
+  /// Lazily built per-worker delta views (slot w serves pool worker w); the
+  /// main thread always works on shard0_.  Reused by subsequent run() calls.
   std::vector<std::unique_ptr<Cssg>> extra_shards_;
   /// The current fault universe (run() replaces, add_faults() extends).
   std::vector<Fault> universe_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -13,6 +14,7 @@
 #include "netlist/random_netlist.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
+#include "xatpg/progress.hpp"  // safe_ratio
 #include "xatpg/session.hpp"
 
 namespace xatpg::perf {
@@ -217,6 +219,8 @@ CircuitRecord run_entry(const CorpusEntry& entry, const AtpgOptions& options) {
   const ShardBddStats bdd = session->bdd_stats();
   record.peak_nodes = bdd.peak_nodes;
   record.live_nodes = bdd.live_nodes;
+  record.base_nodes = bdd.base_nodes;
+  record.delta_peak = bdd.delta_peak;
   record.cache_lookups = bdd.cache_lookups;
   record.cache_hits = bdd.cache_hits;
   record.cache_hit_rate = bdd.cache_hit_rate();
@@ -226,9 +230,15 @@ CircuitRecord run_entry(const CorpusEntry& entry, const AtpgOptions& options) {
   // behind post_sift_nodes is a real reorder the record used to miss, and
   // on a multi-threaded run the worker shards sift independently of shard 0
   // (reading bdd_stats() alone reported 0 forever — the schema-1 records'
-  // all-zero reorders column).
-  for (const ShardBddStats& shard : session->shard_bdd_stats())
+  // all-zero reorders column).  The resident footprint likewise spans every
+  // shard — but counts the shared base arena exactly ONCE: per-shard
+  // base_nodes are the same frozen arena, and summing them per shard is the
+  // N x double count schema 3 exists to fix.
+  record.peak_resident_nodes = record.base_nodes;
+  for (const ShardBddStats& shard : session->shard_bdd_stats()) {
     record.reorders += shard.reorders;
+    record.peak_resident_nodes += shard.delta_peak;
+  }
   return record;
 }
 
@@ -279,6 +289,8 @@ BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
     SweepPoint measured;
     measured.threads = thread_counts[i];
     measured.cpu_ms = point.total_cpu_ms();
+    for (const CircuitRecord& c : point.circuits)
+      measured.peak_resident_nodes += c.peak_resident_nodes;
     if (i == 0) {
       // The first point (canonically threads = 1) supplies the record's
       // per-circuit data; later points contribute timing only.
@@ -304,13 +316,13 @@ BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
     record.sweep.push_back(measured);
   }
   // speedup/efficiency relative to the sweep's own first point (canonically
-  // threads = 1).
+  // threads = 1) — through the uniform zero-denominator guard, so a 0 ms
+  // corpus or a degenerate thread count yields 0, never NaN/inf.
   const double base_ms = record.sweep.front().cpu_ms;
   for (SweepPoint& point : record.sweep) {
-    point.speedup = point.cpu_ms > 0 ? base_ms / point.cpu_ms : 0;
+    point.speedup = safe_ratio(base_ms, point.cpu_ms);
     point.efficiency =
-        point.threads > 0 ? point.speedup / static_cast<double>(point.threads)
-                          : 0;
+        safe_ratio(point.speedup, static_cast<double>(point.threads));
   }
   if (progress != nullptr) {
     *progress << "[bench] threads-sweep (host_cores = " << record.host_cores
@@ -318,7 +330,8 @@ BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
     for (const SweepPoint& point : record.sweep)
       *progress << "[bench]   threads " << point.threads << ": "
                 << point.cpu_ms << " ms, speedup " << point.speedup
-                << "x, efficiency " << point.efficiency << "\n";
+                << "x, efficiency " << point.efficiency << ", peak resident "
+                << point.peak_resident_nodes << " nodes\n";
   }
   return record;
 }
@@ -348,6 +361,16 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  // %.17g is max_digits10 for IEEE-754 double: enough digits that parsing
+  // the token reproduces the exact bit pattern (operator<<'s default 6
+  // significant digits silently truncated on round-trip).
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
 void write_json(const BenchRecord& record, std::ostream& out) {
   out << "{\n"
       << "  \"schema\": " << record.schema << ",\n"
@@ -362,16 +385,21 @@ void write_json(const BenchRecord& record, std::ostream& out) {
         << ", \"signals\": " << c.signals << ", \"pins\": " << c.pins
         << ", \"faults_total\": " << c.faults_total
         << ", \"faults_covered\": " << c.faults_covered
-        << ", \"coverage\": " << c.coverage << ", \"gave_up\": " << c.gave_up
-        << ", \"sequences\": " << c.sequences << ", \"cpu_ms\": " << c.cpu_ms
+        << ", \"coverage\": " << json_double(c.coverage)
+        << ", \"gave_up\": " << c.gave_up
+        << ", \"sequences\": " << c.sequences
+        << ", \"cpu_ms\": " << json_double(c.cpu_ms)
         << ", \"peak_nodes\": " << c.peak_nodes
         << ", \"live_nodes\": " << c.live_nodes
+        << ", \"base_nodes\": " << c.base_nodes
+        << ", \"delta_peak\": " << c.delta_peak
+        << ", \"peak_resident_nodes\": " << c.peak_resident_nodes
         << ", \"post_sift_nodes\": " << c.post_sift_nodes
         << ", \"reorders\": " << c.reorders
         << ", \"cache_lookups\": " << c.cache_lookups
         << ", \"cache_hits\": " << c.cache_hits
-        << ", \"cache_hit_rate\": " << c.cache_hit_rate
-        << ", \"unique_load\": " << c.unique_load << "}"
+        << ", \"cache_hit_rate\": " << json_double(c.cache_hit_rate)
+        << ", \"unique_load\": " << json_double(c.unique_load) << "}"
         << (i + 1 < record.circuits.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
@@ -379,9 +407,11 @@ void write_json(const BenchRecord& record, std::ostream& out) {
     out << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < record.sweep.size(); ++i) {
       const SweepPoint& p = record.sweep[i];
-      out << "    {\"threads\": " << p.threads << ", \"cpu_ms\": " << p.cpu_ms
-          << ", \"speedup\": " << p.speedup
-          << ", \"efficiency\": " << p.efficiency << "}"
+      out << "    {\"threads\": " << p.threads
+          << ", \"cpu_ms\": " << json_double(p.cpu_ms)
+          << ", \"speedup\": " << json_double(p.speedup)
+          << ", \"efficiency\": " << json_double(p.efficiency)
+          << ", \"peak_resident_nodes\": " << p.peak_resident_nodes << "}"
           << (i + 1 < record.sweep.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
@@ -390,7 +420,7 @@ void write_json(const BenchRecord& record, std::ostream& out) {
       << ", \"faults_covered\": " << record.total_covered()
       << ", \"gave_up\": " << record.total_gave_up()
       << ", \"peak_nodes\": " << record.total_peak_nodes()
-      << ", \"cpu_ms\": " << record.total_cpu_ms() << "}\n"
+      << ", \"cpu_ms\": " << json_double(record.total_cpu_ms()) << "}\n"
       << "}\n";
 }
 
@@ -648,6 +678,10 @@ BenchRecord parse_record(const std::string& json_text) {
     c.cpu_ms = num_field(entry, "cpu_ms", 0);
     c.peak_nodes = size_field(entry, "peak_nodes");
     c.live_nodes = size_field(entry, "live_nodes");
+    c.base_nodes = size_field(entry, "base_nodes");      // 0 pre-schema-3
+    c.delta_peak = size_field(entry, "delta_peak");      // 0 pre-schema-3
+    c.peak_resident_nodes =
+        size_field(entry, "peak_resident_nodes");        // 0 pre-schema-3
     c.post_sift_nodes = size_field(entry, "post_sift_nodes");
     c.reorders = size_field(entry, "reorders");
     c.cache_lookups = size_field(entry, "cache_lookups");
@@ -669,6 +703,8 @@ BenchRecord parse_record(const std::string& json_text) {
       point.cpu_ms = num_field(entry, "cpu_ms", 0);
       point.speedup = num_field(entry, "speedup", 0);
       point.efficiency = num_field(entry, "efficiency", 0);
+      point.peak_resident_nodes =
+          size_field(entry, "peak_resident_nodes");  // 0 pre-schema-3
       record.sweep.push_back(point);
     }
   }
@@ -835,6 +871,37 @@ Comparison compare(const BenchRecord& baseline, const BenchRecord& current,
     }
   } else if (!baseline.sweep.empty()) {
     note("scaling gates skipped: current record has no threads sweep");
+  }
+
+  // Cross-thread memory gate — self-contained within the CURRENT record's
+  // sweep (node counts do not depend on machine speed, so unlike CPU it needs no
+  // matching host tags): resident peak at T >= 4 threads must stay under
+  // max_peak_resident_frac x T x the threads=1 footprint.  The old
+  // private-shard design scaled as T x single-shard peak; the shared frozen
+  // base holds the substrate once, and this gate keeps that win locked in.
+  if (!current.sweep.empty()) {
+    const SweepPoint* single = nullptr;
+    for (const SweepPoint& p : current.sweep)
+      if (p.threads == 1) single = &p;
+    if (single == nullptr || single->peak_resident_nodes == 0) {
+      note("memory gates skipped: sweep has no threads=1 "
+           "peak_resident_nodes (pre-schema-3 record)");
+    } else {
+      for (const SweepPoint& p : current.sweep) {
+        if (p.threads < 4 || p.peak_resident_nodes == 0) continue;
+        const double bound = options.max_peak_resident_frac *
+                             static_cast<double>(p.threads) *
+                             static_cast<double>(single->peak_resident_nodes);
+        if (static_cast<double>(p.peak_resident_nodes) > bound)
+          fail("memory at threads=" + std::to_string(p.threads) +
+               ": peak resident nodes " +
+               std::to_string(p.peak_resident_nodes) + " exceed " +
+               fmt(100.0 * options.max_peak_resident_frac) + "% of " +
+               std::to_string(p.threads) + "x the threads=1 footprint (" +
+               std::to_string(single->peak_resident_nodes) +
+               ") — the shared-base memory win regressed");
+      }
+    }
   }
   return result;
 }

@@ -38,7 +38,18 @@ namespace xatpg::perf {
 //       `sweep` array (per-thread-count corpus CPU with speedup /
 //       parallel-efficiency columns).  Old parsers ignore the new keys;
 //       this parser defaults them when reading schema-1 records.
-inline constexpr int kSchemaVersion = 2;
+//   3 — base/delta-aware memory accounting: per-circuit `base_nodes` (the
+//       frozen shared arena, counted once however many workers ran) and
+//       `delta_peak` (shard 0's private-arena watermark), plus
+//       `peak_resident_nodes` (base once + every shard's delta peak — the
+//       true resident footprint; schema-2's per-shard peaks implicitly
+//       multiplied the shared substrate by the worker count).  Sweep points
+//       carry `peak_resident_nodes` too, which arms the comparator's
+//       cross-thread memory gate.  All doubles are now emitted through a
+//       finite-checked max_digits10 formatter (schema-2 records could emit
+//       invalid `nan`/`inf` tokens and drop digits on round-trip).  The
+//       parser defaults the new keys when reading schema-1/2 records.
+inline constexpr int kSchemaVersion = 3;
 /// Identifies the kernel generation a record was produced by (recorded in
 /// the JSON so a cross-kernel diff is visible in the comparator output).
 inline constexpr const char* kKernelName = "complement-edge";
@@ -79,8 +90,19 @@ struct CircuitRecord {
   std::size_t gave_up = 0;
   std::size_t sequences = 0;
   double cpu_ms = 0;  ///< wall clock from before Session construction
-  std::size_t peak_nodes = 0;       ///< allocated-node watermark (shard 0)
+  /// Shard 0's resident watermark: base_nodes + delta_peak (schema 1/2:
+  /// the monolithic manager's allocated-node watermark).
+  std::size_t peak_nodes = 0;
   std::size_t live_nodes = 0;       ///< live after a final collection
+  /// Frozen shared-base arena size — identical for every worker shard, so
+  /// it must be counted ONCE per circuit, never once per shard (0 on
+  /// schema-1/2 records).
+  std::size_t base_nodes = 0;
+  /// Shard 0's private delta-arena watermark (0 on schema-1/2 records).
+  std::size_t delta_peak = 0;
+  /// True resident footprint across every shard that ran: base_nodes once
+  /// plus each shard's delta peak (0 on schema-1/2 records).
+  std::size_t peak_resident_nodes = 0;
   std::size_t post_sift_nodes = 0;  ///< live after one explicit sift pass
   std::size_t reorders = 0;
   std::size_t cache_lookups = 0, cache_hits = 0;
@@ -97,6 +119,12 @@ struct SweepPoint {
   double cpu_ms = 0;      ///< corpus total at this thread count
   double speedup = 0;     ///< threads=1 cpu_ms / this cpu_ms
   double efficiency = 0;  ///< speedup / threads (1.0 = perfect scaling)
+  /// Corpus total of per-circuit peak_resident_nodes at this thread count
+  /// (base arenas once + every shard's delta peak).  Base arenas are
+  /// bit-deterministic; delta peaks shift by a fraction of a percent with
+  /// the steal interleaving, far inside the comparator's memory-gate
+  /// headroom (0 on schema-1/2 records — the gate skips those).
+  std::size_t peak_resident_nodes = 0;
 };
 
 struct BenchRecord {
@@ -149,6 +177,13 @@ BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
 /// the record writer and the CLI's run --json output).
 std::string json_escape(const std::string& s);
 
+/// Format a double as a valid JSON number token: non-finite values — which
+/// operator<< would emit as the invalid tokens `nan`/`inf` — clamp to 0,
+/// and finite values print with max_digits10 precision so every record
+/// round-trips parse(emit(x)) == x bit-exactly.  Shared by the record
+/// writer and the CLI's run --json output.
+std::string json_double(double value);
+
 void write_json(const BenchRecord& record, std::ostream& out);
 std::string to_json(const BenchRecord& record);
 
@@ -174,6 +209,15 @@ struct CompareOptions {
   /// curves), and never against a host_cores = 1 baseline point (no real
   /// parallelism to regress).
   double max_speedup_regression = 0.25;
+  /// Cross-thread memory gate, applied WITHIN the current record's sweep: a
+  /// point at >= 4 threads fails when its peak_resident_nodes exceed this
+  /// fraction of threads x the threads=1 point's — i.e. 0.6 locks in a
+  /// >= 40% resident-memory win over the old design's N private shards
+  /// (whose footprint scales as threads x the single-shard peak).  The
+  /// shared-base design measures ~0.27 at threads=4, so the sub-percent
+  /// jitter delta peaks pick up from the steal interleaving cannot reach
+  /// the bound.  Points without the schema-3 field (old records) skip.
+  double max_peak_resident_frac = 0.6;
 };
 
 struct Comparison {

@@ -54,6 +54,15 @@ class SymbolicEncoding {
                    VarOrder order = VarOrder::Interleaved,
                    const ReorderPolicy& reorder = {});
 
+  /// Delta view over a *frozen* encoding: shares the base's netlist,
+  /// variable layout, permutations and (read-only) node arena, but every
+  /// new BDD node this view creates goes into a private delta arena (see
+  /// BddManager's base/delta layering).  The base's cached artifacts
+  /// (targets, stable predicate) are adopted by handle, so the view starts
+  /// warm without copying a single node.  One view per worker thread; the
+  /// base must outlive every view and must already be frozen.
+  SymbolicEncoding(const SymbolicEncoding& base, BddManager::Delta);
+
   const Netlist& netlist() const { return *netlist_; }
   BddManager& mgr() const { return mgr_; }
   std::size_t num_signals() const { return netlist_->num_signals(); }

@@ -1,0 +1,216 @@
+// The freeze boundary of the base/delta BDD layering (bdd/bdd.hpp):
+//   * a frozen base rejects every mutating operation loudly (XATPG_CHECK);
+//   * delta managers resolve substrate functions to handle-identical base
+//     nodes and produce results identical to a monolithic manager on seeded
+//     random expressions;
+//   * GC / sift on one delta never perturbs a sibling delta;
+//   * concurrent deltas over one frozen base are race-free (the test runs
+//     under the TSan/ASan CI matrix like the rest of the suite).
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace xatpg {
+namespace {
+
+/// A deterministic random expression over the manager's first `nvars`
+/// literals: the same seed replays the identical operation stream on any
+/// manager, which is what makes cross-manager handle comparisons meaningful.
+Bdd random_expression(BddManager& mgr, std::uint32_t nvars, std::uint64_t seed,
+                      std::size_t ops = 24) {
+  Rng rng(seed);
+  Bdd acc = mgr.var(static_cast<std::uint32_t>(rng.below(nvars)));
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Bdd lit = mgr.var(static_cast<std::uint32_t>(rng.below(nvars)));
+    switch (rng.below(4)) {
+      case 0: acc = acc & lit; break;
+      case 1: acc = acc | lit; break;
+      case 2: acc = acc ^ lit; break;
+      default: acc = mgr.ite(lit, !acc, acc); break;
+    }
+  }
+  return acc;
+}
+
+/// A base manager with every literal materialized and one substrate
+/// function built before the freeze.
+class FreezeTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kVars = 8;
+
+  void build_and_freeze() {
+    substrate_ = random_expression(base_, kVars, /*seed=*/1);
+    base_.freeze();
+  }
+
+  BddManager base_{kVars};
+  Bdd substrate_;
+};
+
+TEST_F(FreezeTest, FrozenBaseRejectsMutatingOps) {
+  build_and_freeze();
+  ASSERT_TRUE(base_.frozen());
+  const Bdd a = substrate_;  // copying a handle is not a mutation
+  EXPECT_THROW((void)(a & !a), CheckError);
+  EXPECT_THROW((void)base_.ite(a, a, a), CheckError);
+  EXPECT_THROW((void)base_.exists(a, a), CheckError);
+  EXPECT_THROW((void)base_.make_cube({0, 1}), CheckError);
+  EXPECT_THROW((void)base_.make_minterm({0, 1}, {true, false}), CheckError);
+  EXPECT_THROW((void)base_.new_var(), CheckError);
+  EXPECT_THROW((void)base_.collect_garbage(), CheckError);
+  EXPECT_THROW((void)base_.sift(), CheckError);
+  EXPECT_THROW((void)base_.reorder_to({0, 1, 2, 3, 4, 5, 6, 7}), CheckError);
+  EXPECT_THROW(base_.set_var_groups({{0, 1}}), CheckError);
+  EXPECT_THROW(base_.set_gc_threshold(1), CheckError);
+  EXPECT_THROW(base_.set_reorder_policy({}), CheckError);
+}
+
+TEST_F(FreezeTest, FrozenBaseStillAnswersReadOnlyQueries) {
+  build_and_freeze();
+  EXPECT_GT(substrate_.node_count(), 0u);
+  EXPECT_GT(base_.allocated_nodes(), 0u);
+  EXPECT_FALSE(substrate_.is_false());
+  // var() for an already-materialized literal is a pure lookup.
+  EXPECT_EQ(base_.var(0), base_.var(0));
+}
+
+TEST_F(FreezeTest, FreezeAndDeltaConstructionGuards) {
+  EXPECT_THROW(BddManager(base_, BddManager::Delta{}), CheckError)
+      << "delta over an unfrozen base must be rejected";
+  build_and_freeze();
+  EXPECT_THROW(base_.freeze(), CheckError) << "double freeze must be rejected";
+  BddManager delta(base_, BddManager::Delta{});
+  EXPECT_TRUE(delta.is_delta());
+  EXPECT_FALSE(delta.frozen());
+  EXPECT_EQ(delta.base(), &base_);
+  EXPECT_EQ(delta.base_nodes(), base_.allocated_nodes());
+  EXPECT_THROW(delta.freeze(), CheckError)
+      << "a delta cannot become a base (one level of layering)";
+  EXPECT_THROW((void)delta.new_var(), CheckError)
+      << "the variable universe is fixed by the base";
+}
+
+TEST_F(FreezeTest, SubstrateResolvesToHandleIdenticalBaseNodes) {
+  build_and_freeze();
+  BddManager delta(base_, BddManager::Delta{});
+  // Replaying the exact substrate-building op stream inside the delta must
+  // resolve the result from the frozen base arena: same edge word.  (Dead
+  // intermediates were swept from the base at freeze, so the replay may
+  // rebuild those locally — but they die with it, so a collection leaves
+  // the delta arena empty again.)
+  const Bdd replay = random_expression(delta, kVars, /*seed=*/1);
+  EXPECT_EQ(replay.index(), substrate_.index());
+  EXPECT_EQ(replay, delta.adopt(substrate_));
+  delta.collect_garbage();
+  EXPECT_EQ(delta.allocated_nodes(), 0u)
+      << "everything the replay resolved must live in the base arena";
+}
+
+TEST_F(FreezeTest, NewFunctionsAllocateLocallyOnly) {
+  build_and_freeze();
+  const std::size_t base_size = base_.allocated_nodes();
+  BddManager delta(base_, BddManager::Delta{});
+  const Bdd fresh = random_expression(delta, kVars, /*seed=*/99);
+  EXPECT_EQ(base_.allocated_nodes(), base_size)
+      << "delta work must never grow the frozen base arena";
+  EXPECT_GT(delta.allocated_nodes(), 0u);
+  // A genuinely new node carries a global index past the base arena (the
+  // edge word is node_index << 1 | complement_bit).
+  EXPECT_GE(fresh.index() >> 1, static_cast<std::uint32_t>(base_size));
+}
+
+TEST_F(FreezeTest, DeltaMatchesMonolithicOnSeededRandomBdds) {
+  build_and_freeze();
+  BddManager delta(base_, BddManager::Delta{});
+  for (std::uint64_t seed = 2; seed < 12; ++seed) {
+    BddManager mono(kVars);
+    const Bdd expect = random_expression(mono, kVars, seed);
+    const Bdd got = random_expression(delta, kVars, seed);
+    EXPECT_EQ(got.node_count(), expect.node_count()) << "seed " << seed;
+    // Truth-table equivalence on every assignment (8 vars = 256 rows).
+    for (std::uint32_t bits = 0; bits < (1u << kVars); ++bits) {
+      std::vector<bool> assignment(kVars);
+      for (std::uint32_t v = 0; v < kVars; ++v)
+        assignment[v] = ((bits >> v) & 1u) != 0;
+      ASSERT_EQ(delta.eval(got, assignment), mono.eval(expect, assignment))
+          << "seed " << seed << " assignment " << bits;
+    }
+  }
+}
+
+TEST_F(FreezeTest, GcOnOneDeltaNeverPerturbsASibling) {
+  build_and_freeze();
+  BddManager left(base_, BddManager::Delta{});
+  BddManager right(base_, BddManager::Delta{});
+  const Bdd keep = random_expression(right, kVars, /*seed=*/5);
+  const std::size_t right_size = right.allocated_nodes();
+  const std::size_t keep_nodes = keep.node_count();
+
+  // Churn garbage through the left delta, then collect it.
+  for (std::uint64_t seed = 50; seed < 60; ++seed)
+    (void)random_expression(left, kVars, seed);
+  left.collect_garbage();
+  const ReorderStats sifted = left.sift();
+  EXPECT_EQ(sifted.swaps, 0u) << "a delta's order is pinned by the base";
+  EXPECT_EQ(sifted.blocks_sifted, 0u);
+
+  EXPECT_EQ(right.allocated_nodes(), right_size);
+  EXPECT_EQ(keep.node_count(), keep_nodes);
+  const Bdd again = random_expression(right, kVars, /*seed=*/5);
+  EXPECT_EQ(again, keep) << "sibling delta state must be untouched";
+}
+
+TEST_F(FreezeTest, DeltaGcKeepsBaseNodesPermanentlyLive) {
+  build_and_freeze();
+  BddManager delta(base_, BddManager::Delta{});
+  (void)random_expression(delta, kVars, /*seed=*/7);
+  delta.collect_garbage();  // every local root is dead — sweep it all
+  EXPECT_EQ(delta.base_nodes(), base_.allocated_nodes());
+  // The substrate is still fully usable through the delta afterwards.
+  const Bdd readopted = delta.adopt(substrate_);
+  EXPECT_EQ(readopted.index(), substrate_.index());
+  EXPECT_GT(readopted.node_count(), 0u);
+}
+
+TEST_F(FreezeTest, AdoptRejectsForeignHandles) {
+  build_and_freeze();
+  BddManager delta(base_, BddManager::Delta{});
+  BddManager other(kVars);
+  const Bdd foreign = other.var(0);
+  EXPECT_THROW((void)delta.adopt(foreign), CheckError);
+  EXPECT_THROW((void)base_.adopt(delta.adopt(substrate_)), CheckError)
+      << "adoption crosses base -> delta only";
+  EXPECT_FALSE(delta.adopt(Bdd{}).valid()) << "invalid handles pass through";
+}
+
+TEST_F(FreezeTest, ConcurrentDeltasOverOneFrozenBase) {
+  build_and_freeze();  // publication point: freeze happens-before the spawns
+  constexpr std::size_t kWorkers = 4;
+  std::vector<std::size_t> node_counts(kWorkers, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([this, w, &node_counts] {
+        BddManager delta(base_, BddManager::Delta{});
+        Bdd acc = delta.adopt(substrate_);
+        for (std::uint64_t seed = 100; seed < 110; ++seed)
+          acc = acc ^ random_expression(delta, kVars, seed + w);
+        delta.collect_garbage();
+        node_counts[w] = acc.node_count();
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    EXPECT_GT(node_counts[w], 0u) << "worker " << w;
+}
+
+}  // namespace
+}  // namespace xatpg

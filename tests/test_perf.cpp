@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "util/check.hpp"
+#include "xatpg/progress.hpp"
 #include "xatpg/session.hpp"
 
 namespace xatpg::perf {
@@ -391,6 +394,142 @@ TEST(PerfSweep, RecordsCurveAndCrossChecksDeterminism) {
               1e-9);
   // The record's circuits come from the threads=1 point.
   EXPECT_EQ(record.threads, 1u);
+}
+
+TEST(PerfJson, Schema3FieldsRoundTrip) {
+  BenchRecord record = tiny_record();
+  record.circuits[0].base_nodes = 5000;
+  record.circuits[0].delta_peak = 700;
+  record.circuits[0].peak_resident_nodes = 7100;  // base + 3 shards' deltas
+  record.sweep = {{1, 400.0, 1.0, 1.0, 5700},
+                  {4, 100.0, 4.0, 1.0, 7100}};
+  const BenchRecord parsed = parse_record(to_json(record));
+  EXPECT_EQ(parsed.schema, kSchemaVersion);
+  ASSERT_EQ(parsed.circuits.size(), 2u);
+  EXPECT_EQ(parsed.circuits[0].base_nodes, 5000u);
+  EXPECT_EQ(parsed.circuits[0].delta_peak, 700u);
+  EXPECT_EQ(parsed.circuits[0].peak_resident_nodes, 7100u);
+  EXPECT_EQ(parsed.circuits[1].base_nodes, 0u);  // defaults survive
+  ASSERT_EQ(parsed.sweep.size(), 2u);
+  EXPECT_EQ(parsed.sweep[0].peak_resident_nodes, 5700u);
+  EXPECT_EQ(parsed.sweep[1].peak_resident_nodes, 7100u);
+  // Schema-1/2 records (no such keys) parse with zeroed defaults.
+  const BenchRecord old = parse_record(
+      "{\"schema\": 2, \"circuits\": [{\"id\": \"x\"}],"
+      " \"sweep\": [{\"threads\": 4, \"cpu_ms\": 10}]}");
+  EXPECT_EQ(old.circuits[0].peak_resident_nodes, 0u);
+  EXPECT_EQ(old.sweep[0].peak_resident_nodes, 0u);
+}
+
+TEST(PerfJson, DoublesRoundTripBitExactly) {
+  // max_digits10 formatting: parse(emit(x)) == x, not merely "close".
+  BenchRecord record = tiny_record();
+  record.circuits[0].coverage = 1.0 / 3.0;
+  record.circuits[0].cpu_ms = 0.1 + 0.2;  // 0.30000000000000004
+  record.circuits[0].cache_hit_rate = 0.7234567890123456;
+  record.circuits[0].unique_load = 1e-17;
+  record.sweep = {{1, 400.125, 1.0, 1.0, 10},
+                  {2, 201.0, 1.9900497512437811, 0.99502487562189056, 12}};
+  const BenchRecord parsed = parse_record(to_json(record));
+  EXPECT_EQ(parsed.circuits[0].coverage, record.circuits[0].coverage);
+  EXPECT_EQ(parsed.circuits[0].cpu_ms, record.circuits[0].cpu_ms);
+  EXPECT_EQ(parsed.circuits[0].cache_hit_rate,
+            record.circuits[0].cache_hit_rate);
+  EXPECT_EQ(parsed.circuits[0].unique_load, record.circuits[0].unique_load);
+  ASSERT_EQ(parsed.sweep.size(), 2u);
+  EXPECT_EQ(parsed.sweep[1].speedup, record.sweep[1].speedup);
+  EXPECT_EQ(parsed.sweep[1].efficiency, record.sweep[1].efficiency);
+  // And the emitted text is a fixed point: emit(parse(emit(x))) == emit(x).
+  EXPECT_EQ(to_json(parsed), to_json(record));
+}
+
+TEST(PerfJson, NonFiniteDoublesClampToValidJson) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(json_double(kNan), "0");
+  EXPECT_EQ(json_double(kInf), "0");
+  EXPECT_EQ(json_double(-kInf), "0");
+  EXPECT_EQ(json_double(0.25), "0.25");
+
+  // A poisoned record must still emit parseable JSON (operator<< would have
+  // written the invalid tokens `nan` / `inf`).
+  BenchRecord record = tiny_record();
+  record.circuits[0].cache_hit_rate = kNan;
+  record.circuits[0].coverage = kInf;
+  record.sweep = {{1, 400.0, kInf, kNan, 10}};
+  const std::string text = to_json(record);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  const BenchRecord parsed = parse_record(text);
+  EXPECT_EQ(parsed.circuits[0].cache_hit_rate, 0.0);
+  EXPECT_EQ(parsed.circuits[0].coverage, 0.0);
+  EXPECT_EQ(parsed.sweep[0].speedup, 0.0);
+  EXPECT_EQ(parsed.sweep[0].efficiency, 0.0);
+}
+
+TEST(PerfGuards, SafeRatioGuardsZeroDenominators) {
+  EXPECT_EQ(safe_ratio(1.0, 0.0), 0.0);
+  EXPECT_EQ(safe_ratio(0.0, 0.0), 0.0);
+  EXPECT_EQ(safe_ratio(-3.0, 0.0), 0.0);
+  EXPECT_EQ(safe_ratio(3.0, 4.0), 0.75);
+  // Non-finite quotients clamp even with a nonzero denominator.
+  EXPECT_EQ(safe_ratio(std::numeric_limits<double>::infinity(), 2.0), 0.0);
+  EXPECT_EQ(safe_ratio(std::numeric_limits<double>::quiet_NaN(), 2.0), 0.0);
+}
+
+TEST(PerfGuards, CacheHitRateGuardsZeroLookups) {
+  ShardBddStats stats;  // a shard that never issued a cache lookup
+  EXPECT_EQ(stats.cache_lookups, 0u);
+  EXPECT_EQ(stats.cache_hit_rate(), 0.0);
+  stats.cache_lookups = 8;
+  stats.cache_hits = 2;
+  EXPECT_EQ(stats.cache_hit_rate(), 0.25);
+}
+
+TEST(PerfCompare, MemoryGateLocksInTheResidentWin) {
+  // The gate is self-contained within the current record's sweep: resident
+  // peak at T >= 4 threads must stay under 0.6 x T x the threads=1 point.
+  BenchRecord current = sweep_record(/*host_cores=*/8);
+  current.sweep[0].peak_resident_nodes = 1000;  // threads=1 footprint
+  current.sweep[1].peak_resident_nodes = 1100;  // threads=2: below the gate
+  current.sweep[2].peak_resident_nodes = 2400;  // threads=4: == 0.6 * 4 * 1000
+  const BenchRecord baseline = current;
+  EXPECT_TRUE(compare(baseline, current).ok) << "exactly at the bound passes";
+
+  current.sweep[2].peak_resident_nodes = 2401;  // one node over the bound
+  const Comparison over = compare(baseline, current);
+  EXPECT_FALSE(over.ok);
+  EXPECT_TRUE(std::any_of(over.failures.begin(), over.failures.end(),
+                          [](const std::string& f) {
+                            return f.find("memory at threads=4") !=
+                                   std::string::npos;
+                          }));
+}
+
+TEST(PerfCompare, MemoryGateSkipsPreSchema3Sweeps) {
+  // sweep_record() leaves peak_resident_nodes zeroed, like a parsed
+  // schema-2 record: the gate must skip with a note, never fail.
+  const BenchRecord record = sweep_record(/*host_cores=*/4);
+  const Comparison comparison = compare(record, record);
+  EXPECT_TRUE(comparison.ok);
+  EXPECT_TRUE(std::any_of(
+      comparison.notes.begin(), comparison.notes.end(),
+      [](const std::string& n) {
+        return n.find("memory gates skipped") != std::string::npos;
+      }));
+}
+
+TEST(PerfRun, Schema3MemoryFieldsArePopulatedAndComposed) {
+  const CorpusEntry entry = entry_by_id("bench/c17");
+  const CircuitRecord record = run_entry(entry, AtpgOptions{});
+  EXPECT_GT(record.base_nodes, 0u)
+      << "the frozen shared arena holds the encoding + CSSG substrate";
+  EXPECT_EQ(record.peak_nodes, record.base_nodes + record.delta_peak)
+      << "shard 0's resident watermark = base + its delta peak";
+  EXPECT_GE(record.peak_resident_nodes, record.peak_nodes)
+      << "corpus resident = base once + every shard's delta peak";
+  EXPECT_GE(record.live_nodes, record.base_nodes)
+      << "base nodes are permanently live";
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+// Negative fixtures for xatpg-frozen-base-mutation: every form here is a
+// legal READ through the frozen-base pointer (or not a base access at all)
+// and must produce zero diagnostics.
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+
+#include "xatpg_stub.hpp"
+
+struct Node {
+  std::uint32_t next = 0;
+  std::uint32_t ref = 0;
+};
+
+struct Manager {
+  Node* nodes_ = nullptr;
+  std::uint32_t head = 0;
+  std::size_t size = 0;
+  std::size_t allocated_nodes() const { return size; }
+  const Manager* base() const { return base_; }
+  const Manager* base_ = nullptr;
+};
+
+// Plain reads, comparisons, and const method calls through the pointer.
+std::uint32_t walk_a_chain(const Manager& delta, std::uint32_t n) {
+  std::uint32_t hops = 0;
+  for (; n != 0; n = delta.base_->nodes_[n].next) ++hops;
+  return hops;
+}
+
+bool arena_is_empty(const Manager& delta) {
+  return delta.base_->allocated_nodes() == 0;
+}
+
+bool compares_are_not_mutations(const Manager& delta) {
+  return delta.base_->head <= 4u && delta.base_->head != 0u &&
+         delta.base()->head >= 1u;
+}
+
+// The pointer itself being tested / rebound locally is not a base write.
+bool is_delta(const Manager& m) { return m.base_ != nullptr; }
+
+std::size_t base_size_or_zero(const Manager& m) {
+  const Manager* base = m.base();
+  return base == nullptr ? 0 : base->allocated_nodes();
+}
+
+// Reads as call arguments and stream output.
+void dump(std::ostream& os, const Manager& delta, std::uint32_t n) {
+  os << delta.base_->nodes_[n].ref << '\n';
+}
+
+// An unrelated variable merely named like the member mutates freely.
+std::uint32_t local_accumulator() {
+  std::uint32_t base_total = 0;
+  base_total += 3u;
+  ++base_total;
+  return base_total;
+}
+
+// A sanctioned exception documents itself (mirrors clang-tidy semantics).
+void sanctioned(Manager& delta) {
+  delta.base_->head = 0;  // NOLINT(xatpg-frozen-base-mutation) test rig only
+}

@@ -1,0 +1,51 @@
+// Positive fixtures for xatpg-frozen-base-mutation: any write through a
+// delta manager's frozen-base pointer — or a const_cast that would enable
+// one — must be flagged.  The base arena is published read-only at freeze()
+// and read lock-free by every worker thread; a store through it is a data
+// race, not merely a style problem.
+#include <cstdint>
+
+#include "xatpg_stub.hpp"
+
+struct Node {
+  std::uint32_t next = 0;
+  std::uint32_t ref = 0;
+};
+
+struct Manager {
+  Node* nodes_ = nullptr;
+  std::uint32_t head = 0;
+  std::size_t gc_threshold = 0;
+  const Manager* base() const { return base_; }
+  const Manager* base_ = nullptr;
+};
+
+void assign_through_base(Manager& delta, std::uint32_t n) {
+  delta.base_->nodes_[n].next = 0;
+  // CHECK-MESSAGES: :[[@LINE-1]]:3: warning: '=' through the frozen base [xatpg-frozen-base-mutation]
+}
+
+void compound_assign_through_base(Manager& delta) {
+  delta.base_->head |= 1u;
+  // CHECK-MESSAGES: :[[@LINE-1]]:3: warning: '|=' through the frozen base [xatpg-frozen-base-mutation]
+}
+
+void bump_a_refcount(Manager& delta, std::uint32_t n) {
+  delta.base_->nodes_[n].ref++;
+  // CHECK-MESSAGES: :[[@LINE-1]]:3: warning: '++' through the frozen base [xatpg-frozen-base-mutation]
+}
+
+void prefix_bump(Manager& delta, std::uint32_t n) {
+  ++delta.base_->nodes_[n].ref;
+  // CHECK-MESSAGES: :[[@LINE-1]]:3: warning: '++' through the frozen base [xatpg-frozen-base-mutation]
+}
+
+void mutate_via_accessor(Manager& delta) {
+  delta.base()->head -= 2u;
+  // CHECK-MESSAGES: :[[@LINE-1]]:3: warning: '-=' through the frozen base [xatpg-frozen-base-mutation]
+}
+
+Manager* launder_away_the_const(const Manager& delta) {
+  return const_cast<Manager*>(delta.base_);
+  // CHECK-MESSAGES: :[[@LINE-1]]:10: warning: const_cast strips the frozen base's constness [xatpg-frozen-base-mutation]
+}

@@ -286,7 +286,7 @@ void print_universe_json(std::ostream& out, const char* key,
       << ", \"undetected\": " << stats.undetected
       << ", \"proven_redundant\": " << stats.proven_redundant
       << ", \"gave_up\": " << stats.gave_up
-      << ", \"coverage\": " << stats.coverage() << "}";
+      << ", \"coverage\": " << perf::json_double(stats.coverage()) << "}";
 }
 
 void print_universe_text(std::ostream& out, const char* title,
@@ -354,12 +354,14 @@ int cmd_run(Session& session, const CliArgs& args, std::ostream& out) {
                 : "false")
         << ",\n  \"bdd\": {\"peak_nodes\": " << bdd.peak_nodes
         << ", \"live_nodes\": " << bdd.live_nodes
+        << ", \"base_nodes\": " << bdd.base_nodes
+        << ", \"delta_peak\": " << bdd.delta_peak
         << ", \"reorders\": " << bdd.reorders
         << ", \"cache_lookups\": " << bdd.cache_lookups
         << ", \"cache_hits\": " << bdd.cache_hits
-        << ", \"cache_hit_rate\": " << bdd.cache_hit_rate()
-        << ", \"unique_load\": " << bdd.unique_load << "}"
-        << ",\n  \"cpu_ms\": " << cpu_ms << "\n}\n";
+        << ", \"cache_hit_rate\": " << perf::json_double(bdd.cache_hit_rate())
+        << ", \"unique_load\": " << perf::json_double(bdd.unique_load) << "}"
+        << ",\n  \"cpu_ms\": " << perf::json_double(cpu_ms) << "\n}\n";
   } else {
     out << "circuit '" << session.circuit_name() << "': "
         << session.num_inputs() << " inputs, " << session.num_outputs()
@@ -437,8 +439,9 @@ int cmd_bench(const CliArgs& args, std::ostream& out) {
       for (const perf::SweepPoint& point : record.sweep)
         out << "  threads " << point.threads << ": " << point.cpu_ms
             << " ms, speedup " << point.speedup << "x, efficiency "
-            << point.efficiency << " (host_cores " << record.host_cores
-            << ")\n";
+            << point.efficiency << ", peak resident "
+            << point.peak_resident_nodes << " nodes (host_cores "
+            << record.host_cores << ")\n";
     }
   } catch (const CheckError& e) {
     std::cerr << "xatpg bench: " << e.what() << "\n";
