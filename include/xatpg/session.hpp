@@ -30,8 +30,24 @@
 //     time; the expensive artifacts (CSSG, shards, generated tests) persist
 //     across runs on the same Session.
 //
-// A Session is single-threaded (one run at a time, from one thread); fire
-// the CancelToken from any thread to stop a run cooperatively.
+// Concurrency contract — ONE SESSION PER JOB
+// ------------------------------------------
+// A Session is single-threaded: at most one run()/add_faults() may be
+// active on it at a time, and the accessors are only safe between runs on
+// the thread that owns the Session.  Servers and worker pools must give
+// every concurrent job its own Session (sessions for the same circuit are
+// cheap relative to a run, and results are byte-identical across them) —
+// sharing one Session across workers is NOT made safe by any external
+// locking of run() alone, because accessors like bdd_stats() also touch
+// engine state.  The only cross-thread operation supported is firing a run's
+// CancelToken, which is safe from any thread at any time.
+//
+// Violations are loud, not UB: entering run()/add_faults() while another
+// run is active on the same Session — from another thread, or reentrantly
+// from inside an observer callback — throws xatpg::CheckError (a
+// std::logic_error) instead of corrupting engine state.  Like BadExpectedAccess, this reports a
+// programming error in the consumer, so it is deliberately an exception
+// rather than a typed Error the caller might be tempted to retry.
 #pragma once
 
 #include <cstdint>

@@ -28,9 +28,34 @@ struct Session::Impl {
   AtpgOptions options;
   std::unique_ptr<AtpgEngine> engine;
   std::optional<AtpgResult> result;
+  /// Reentrancy sentinel for the one-run-at-a-time contract (session.hpp).
+  std::atomic<bool> running{false};
 };
 
 namespace {
+
+/// Enforces the one-run-at-a-time contract: entering run()/add_faults()
+/// while another run is active on the same Session (from another server
+/// worker, or reentrantly from an observer callback) is a consumer
+/// programming error, so it throws CheckError — deliberately constructed
+/// BEFORE the typed-error try block so the violation stays loud instead of
+/// being translated into a ResourceError the caller might retry.
+class RunGuard {
+ public:
+  explicit RunGuard(std::atomic<bool>& running) : running_(running) {
+    XATPG_CHECK_MSG(
+        !running_.exchange(true, std::memory_order_acq_rel),
+        "Session::run entered while another run is active on the same "
+        "Session — a Session supports one run at a time (use one Session "
+        "per job; see xatpg/session.hpp)");
+  }
+  ~RunGuard() { running_.store(false, std::memory_order_release); }
+  RunGuard(const RunGuard&) = delete;
+  RunGuard& operator=(const RunGuard&) = delete;
+
+ private:
+  std::atomic<bool>& running_;
+};
 
 /// Build the engine (CSSG + explicit graph) for an already-loaded circuit,
 /// translating internal failures into typed errors.
@@ -232,6 +257,7 @@ std::string Session::describe(const Fault& fault) const {
 Expected<AtpgResult> Session::run(const std::vector<Fault>& faults,
                                   RunObserver* observer,
                                   const CancelToken* cancel) {
+  RunGuard guard(impl_->running);
   if (const auto invalid = validate_faults(impl_->netlist, faults))
     return *invalid;
   try {
@@ -247,6 +273,7 @@ Expected<AtpgResult> Session::run(const std::vector<Fault>& faults,
 Expected<AtpgResult> Session::add_faults(const std::vector<Fault>& faults,
                                          RunObserver* observer,
                                          const CancelToken* cancel) {
+  RunGuard guard(impl_->running);
   if (const auto invalid = validate_faults(impl_->netlist, faults))
     return *invalid;
   try {

@@ -13,6 +13,7 @@
 #include "netlist/netlist.hpp"
 #include "netlist/random_netlist.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 #include "xatpg/progress.hpp"  // safe_ratio
 #include "xatpg/session.hpp"
@@ -340,36 +341,9 @@ BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
 // JSON writing
 // ---------------------------------------------------------------------------
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
-std::string json_double(double value) {
-  if (!std::isfinite(value)) return "0";
-  char buf[64];
-  // %.17g is max_digits10 for IEEE-754 double: enough digits that parsing
-  // the token reproduces the exact bit pattern (operator<<'s default 6
-  // significant digits silently truncated on round-trip).
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return buf;
-}
+std::string json_double(double value) { return json::number(value); }
 
 void write_json(const BenchRecord& record, std::ostream& out) {
   out << "{\n"
@@ -416,6 +390,17 @@ void write_json(const BenchRecord& record, std::ostream& out) {
     }
     out << "  ],\n";
   }
+  if (record.serve.requests > 0) {
+    const ServeRecord& s = record.serve;
+    out << "  \"serve\": {\"requests\": " << s.requests
+        << ", \"circuits\": " << s.circuits << ", \"workers\": " << s.workers
+        << ", \"cold_rps\": " << json_double(s.cold_rps)
+        << ", \"cold_p50_ms\": " << json_double(s.cold_p50_ms)
+        << ", \"cold_p99_ms\": " << json_double(s.cold_p99_ms)
+        << ", \"cached_rps\": " << json_double(s.cached_rps)
+        << ", \"cached_p50_ms\": " << json_double(s.cached_p50_ms)
+        << ", \"cached_p99_ms\": " << json_double(s.cached_p99_ms) << "},\n";
+  }
   out << "  \"totals\": {\"faults_total\": " << record.total_faults()
       << ", \"faults_covered\": " << record.total_covered()
       << ", \"gave_up\": " << record.total_gave_up()
@@ -431,223 +416,18 @@ std::string to_json(const BenchRecord& record) {
 }
 
 // ---------------------------------------------------------------------------
-// JSON parsing (self-contained recursive descent; no external dependency)
+// JSON parsing: the document model and the recursive-descent parser moved to
+// util/json.hpp (shared with the serve protocol); this file keeps only the
+// record-shaped reading on top of it.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object } type =
-      Type::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    const JsonValue value = parse_value();
-    skip_ws();
-    XATPG_CHECK_MSG(pos_ == text_.size(),
-                    "JSON: trailing content at offset " << pos_);
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-  char peek() {
-    skip_ws();
-    XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    XATPG_CHECK_MSG(peek() == c, "JSON: expected '" << c << "' at offset "
-                                                    << pos_ << ", got '"
-                                                    << text_[pos_] << "'");
-    ++pos_;
-  }
-  bool consume_literal(const char* literal) {
-    const std::size_t n = std::string(literal).size();
-    if (text_.compare(pos_, n, literal) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue value;
-      value.type = JsonValue::Type::String;
-      value.string = parse_string();
-      return value;
-    }
-    JsonValue value;
-    if (consume_literal("true")) {
-      value.type = JsonValue::Type::Bool;
-      value.boolean = true;
-      return value;
-    }
-    if (consume_literal("false")) {
-      value.type = JsonValue::Type::Bool;
-      return value;
-    }
-    if (consume_literal("null")) return value;
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    JsonValue value;
-    value.type = JsonValue::Type::Object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      XATPG_CHECK_MSG(peek() == '"',
-                      "JSON: expected object key at offset " << pos_);
-      std::string key = parse_string();
-      expect(':');
-      value.object.emplace_back(std::move(key), parse_value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return value;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue value;
-    value.type = JsonValue::Type::Array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      value.array.push_back(parse_value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return value;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          XATPG_CHECK_MSG(pos_ + 4 <= text_.size(),
-                          "JSON: truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else XATPG_CHECK_MSG(false, "JSON: bad \\u escape digit");
-          }
-          // Records only ever escape control characters; anything else is
-          // passed through as a single byte (sufficient for our producer).
-          out += static_cast<char>(code & 0xff);
-          break;
-        }
-        default:
-          XATPG_CHECK_MSG(false, "JSON: unknown escape '\\" << esc << "'");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    XATPG_CHECK_MSG(pos_ > start, "JSON: expected a value at offset " << start);
-    JsonValue value;
-    value.type = JsonValue::Type::Number;
-    try {
-      value.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      XATPG_CHECK_MSG(false, "JSON: malformed number at offset " << start);
-    }
-    return value;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-double num_field(const JsonValue& object, const char* key, double fallback) {
-  const JsonValue* value = object.find(key);
-  if (value == nullptr) return fallback;
-  XATPG_CHECK_MSG(value->type == JsonValue::Type::Number,
-                  "JSON: field '" << key << "' is not a number");
-  return value->number;
-}
-
-std::size_t size_field(const JsonValue& object, const char* key) {
-  const double value = num_field(object, key, 0);
-  XATPG_CHECK_MSG(value >= 0, "JSON: field '" << key << "' is negative");
-  return static_cast<std::size_t>(value);
-}
-
-std::string string_field(const JsonValue& object, const char* key) {
-  const JsonValue* value = object.find(key);
-  if (value == nullptr) return {};
-  XATPG_CHECK_MSG(value->type == JsonValue::Type::String,
-                  "JSON: field '" << key << "' is not a string");
-  return value->string;
-}
-
-}  // namespace
+using json::num_field;
+using json::size_field;
+using json::string_field;
+using JsonValue = json::Value;
 
 BenchRecord parse_record(const std::string& json_text) {
-  const JsonValue root = JsonParser(json_text).parse();
+  const JsonValue root = json::parse(json_text);
   XATPG_CHECK_MSG(root.type == JsonValue::Type::Object,
                   "perf record: top level is not an object");
   BenchRecord record;
@@ -707,6 +487,20 @@ BenchRecord parse_record(const std::string& json_text) {
           size_field(entry, "peak_resident_nodes");  // 0 pre-schema-3
       record.sweep.push_back(point);
     }
+  }
+  if (const JsonValue* serve = root.find("serve")) {  // absent pre-schema-4
+    XATPG_CHECK_MSG(serve->type == JsonValue::Type::Object,
+                    "perf record: 'serve' is not an object");
+    ServeRecord& s = record.serve;
+    s.requests = size_field(*serve, "requests");
+    s.circuits = size_field(*serve, "circuits");
+    s.workers = size_field(*serve, "workers");
+    s.cold_rps = num_field(*serve, "cold_rps", 0);
+    s.cold_p50_ms = num_field(*serve, "cold_p50_ms", 0);
+    s.cold_p99_ms = num_field(*serve, "cold_p99_ms", 0);
+    s.cached_rps = num_field(*serve, "cached_rps", 0);
+    s.cached_p50_ms = num_field(*serve, "cached_p50_ms", 0);
+    s.cached_p99_ms = num_field(*serve, "cached_p99_ms", 0);
   }
   return record;
 }

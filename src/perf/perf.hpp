@@ -49,7 +49,13 @@ namespace xatpg::perf {
 //       finite-checked max_digits10 formatter (schema-2 records could emit
 //       invalid `nan`/`inf` tokens and drop digits on round-trip).  The
 //       parser defaults the new keys when reading schema-1/2 records.
-inline constexpr int kSchemaVersion = 3;
+//   4 — adds the optional `serve` object (`xatpg bench --serve`): the
+//       NDJSON daemon driven over the corpus, requests/sec plus p50/p99
+//       per-request latency for a cold pass (every request an engine run)
+//       and a cached pass (every request a result-cache hit).  Absent
+//       unless the serve benchmark ran; the parser defaults it when
+//       reading schema-1/2/3 records.
+inline constexpr int kSchemaVersion = 4;
 /// Identifies the kernel generation a record was produced by (recorded in
 /// the JSON so a cross-kernel diff is visible in the comparator output).
 inline constexpr const char* kKernelName = "complement-edge";
@@ -127,6 +133,23 @@ struct SweepPoint {
   std::size_t peak_resident_nodes = 0;
 };
 
+/// `xatpg bench --serve`: the serve daemon measured end to end (admission,
+/// queue, worker execution, cache, frame serialization) through real
+/// socketpair byte streams.  Latencies are submit-to-result per request.
+struct ServeRecord {
+  std::size_t requests = 0;  ///< total requests measured (0 = no serve bench)
+  std::size_t circuits = 0;  ///< distinct corpus circuits driven
+  std::size_t workers = 0;   ///< daemon worker-pool size
+  /// Cold pass: fresh daemon, every request pays a full engine run.
+  double cold_rps = 0;
+  double cold_p50_ms = 0;
+  double cold_p99_ms = 0;
+  /// Cached pass: same circuits re-requested, every request a cache hit.
+  double cached_rps = 0;
+  double cached_p50_ms = 0;
+  double cached_p99_ms = 0;
+};
+
 struct BenchRecord {
   int schema = kSchemaVersion;
   std::string kernel = kKernelName;
@@ -142,6 +165,9 @@ struct BenchRecord {
   /// Threads-sweep scaling curve (empty unless recorded with
   /// `xatpg bench --threads-sweep`).
   std::vector<SweepPoint> sweep;
+  /// Serve-daemon throughput/latency (requests == 0 unless recorded with
+  /// `xatpg bench --serve`).
+  ServeRecord serve;
 
   std::size_t total_faults() const;
   std::size_t total_covered() const;
@@ -170,6 +196,16 @@ BenchRecord run_sweep(const std::vector<CorpusEntry>& corpus,
                       const AtpgOptions& options, const std::string& host_tag,
                       const std::vector<std::size_t>& thread_counts,
                       std::ostream* progress = nullptr);
+
+/// Drive an in-process serve daemon (src/serve) over the corpus through a
+/// real socketpair byte stream: one cold pass (every request a full engine
+/// run) then `cached_repeats` passes of the same requests (every one a
+/// result-cache hit — verified: a miss on the repeat pass throws
+/// CheckError).  Implemented in serve_bench.cpp.
+ServeRecord run_serve_bench(const std::vector<CorpusEntry>& corpus,
+                            const AtpgOptions& options,
+                            std::size_t cached_repeats = 4,
+                            std::ostream* progress = nullptr);
 
 // --- JSON -------------------------------------------------------------------
 

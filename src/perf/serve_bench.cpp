@@ -1,0 +1,198 @@
+// `xatpg bench --serve`: measure the serve daemon (src/serve) end to end —
+// admission on the reader thread, queue hand-off, worker execution, result
+// caching and frame serialization — through a real socketpair byte stream,
+// exactly the path a unix-socket client exercises.  Two passes over the
+// corpus: cold (fresh daemon, every request a full engine run) and cached
+// (same requests again, every one must hit the result cache).  Per-request
+// latency is submit-to-result wall clock; the record carries requests/sec
+// plus p50/p99 for both passes.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/random_netlist.hpp"
+#include "perf/perf.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace xatpg::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One submit line for a corpus entry (id doubles as the job id; pass makes
+/// repeat-pass ids unique so the daemon's dup-id admission check stays out
+/// of the way).
+std::string submit_line(const CorpusEntry& entry, std::size_t pass) {
+  std::ostringstream os;
+  os << "{\"op\":\"submit\",\"id\":\"" << json::escape(entry.id) << "#" << pass
+     << "\",\"circuit\":";
+  switch (entry.kind) {
+    case CorpusEntry::Kind::SiBenchmark:
+      os << "{\"format\":\"benchmark\",\"name\":\"" << json::escape(entry.name)
+         << "\",\"style\":\"si\"}";
+      break;
+    case CorpusEntry::Kind::BdBenchmark:
+      os << "{\"format\":\"benchmark\",\"name\":\"" << json::escape(entry.name)
+         << "\",\"style\":\"bd\"}";
+      break;
+    case CorpusEntry::Kind::RandomNetlist: {
+      RandomNetlistOptions shape;
+      shape.num_inputs = entry.rand_inputs;
+      shape.num_gates = entry.rand_gates;
+      os << "{\"format\":\"xnl\",\"text\":\""
+         << json::escape(write_xnl_string(random_netlist(entry.seed, shape)))
+         << "\"}";
+      break;
+    }
+    case CorpusEntry::Kind::BenchText:
+      os << "{\"format\":\"bench\",\"text\":\"" << json::escape(entry.text)
+         << "\"}";
+      break;
+  }
+  os << ",\"faults\":\"both\"}\n";
+  return os.str();
+}
+
+/// Minimal blocking NDJSON client half for an in-process daemon.
+class BenchClient {
+ public:
+  explicit BenchClient(int fd) : fd_(fd) {}
+  ~BenchClient() { ::close(fd_); }
+
+  void send(const std::string& line) {
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+      XATPG_CHECK_MSG(n > 0, "serve bench: client write failed");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string next_line() {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[65536];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      XATPG_CHECK_MSG(n > 0, "serve bench: daemon stream ended unexpectedly");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Submit, wait for the result frame, and return (latency_ms, cached).
+  std::pair<double, bool> timed_request(const std::string& line) {
+    const Clock::time_point start = Clock::now();
+    send(line);
+    while (true) {
+      const json::Value frame = json::parse(next_line());
+      const std::string type = json::string_field(frame, "type");
+      if (type == "ack") continue;
+      XATPG_CHECK_MSG(type == "result",
+                      "serve bench: unexpected '" << type << "' frame");
+      const std::chrono::duration<double, std::milli> elapsed =
+          Clock::now() - start;
+      return {elapsed.count(), json::bool_field(frame, "cached", false)};
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+double percentile(std::vector<double> values_ms, double p) {
+  if (values_ms.empty()) return 0;
+  std::sort(values_ms.begin(), values_ms.end());
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(values_ms.size() - 1) + 0.5);
+  return values_ms[std::min(index, values_ms.size() - 1)];
+}
+
+}  // namespace
+
+ServeRecord run_serve_bench(const std::vector<CorpusEntry>& corpus,
+                            const AtpgOptions& options,
+                            std::size_t cached_repeats,
+                            std::ostream* progress) {
+  XATPG_CHECK_MSG(!corpus.empty(), "serve bench: empty corpus");
+  serve::ServeConfig config;
+  config.workers = 1;  // latency, not queueing, is what this measures
+  config.queue_capacity = 4;
+  config.cache_bytes = 64u << 20;  // the whole corpus must stay resident
+  config.defaults = options;
+  serve::Server server(config);
+  server.start();
+
+  int sv[2] = {-1, -1};
+  XATPG_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                  "serve bench: socketpair failed");
+  server.attach(sv[0], sv[0], /*owns_fds=*/true);
+  BenchClient client(sv[1]);
+
+  ServeRecord record;
+  record.circuits = corpus.size();
+  record.workers = config.workers;
+
+  std::vector<double> cold_ms;
+  cold_ms.reserve(corpus.size());
+  const Clock::time_point cold_start = Clock::now();
+  for (const CorpusEntry& entry : corpus) {
+    const auto [ms, cached] = client.timed_request(submit_line(entry, 0));
+    XATPG_CHECK_MSG(!cached, "serve bench: cold request for '"
+                                 << entry.id << "' hit the cache");
+    cold_ms.push_back(ms);
+    if (progress)
+      *progress << "[serve] cold " << entry.id << ": " << ms << " ms\n";
+  }
+  const std::chrono::duration<double> cold_wall = Clock::now() - cold_start;
+
+  std::vector<double> cached_ms;
+  cached_ms.reserve(corpus.size() * cached_repeats);
+  const Clock::time_point cached_start = Clock::now();
+  for (std::size_t pass = 1; pass <= cached_repeats; ++pass) {
+    for (const CorpusEntry& entry : corpus) {
+      const auto [ms, cached] = client.timed_request(submit_line(entry, pass));
+      XATPG_CHECK_MSG(cached, "serve bench: repeat request for '"
+                                  << entry.id << "' missed the cache");
+      cached_ms.push_back(ms);
+    }
+  }
+  const std::chrono::duration<double> cached_wall = Clock::now() - cached_start;
+
+  server.shutdown();
+
+  record.requests = cold_ms.size() + cached_ms.size();
+  record.cold_rps =
+      static_cast<double>(cold_ms.size()) / std::max(cold_wall.count(), 1e-9);
+  record.cold_p50_ms = percentile(cold_ms, 0.50);
+  record.cold_p99_ms = percentile(cold_ms, 0.99);
+  record.cached_rps = static_cast<double>(cached_ms.size()) /
+                      std::max(cached_wall.count(), 1e-9);
+  record.cached_p50_ms = percentile(cached_ms, 0.50);
+  record.cached_p99_ms = percentile(cached_ms, 0.99);
+  if (progress)
+    *progress << "[serve] " << record.requests << " requests over "
+              << record.circuits << " circuits: cold " << record.cold_rps
+              << " req/s (p50 " << record.cold_p50_ms << " ms, p99 "
+              << record.cold_p99_ms << " ms), cached " << record.cached_rps
+              << " req/s (p50 " << record.cached_p50_ms << " ms, p99 "
+              << record.cached_p99_ms << " ms)\n";
+  return record;
+}
+
+}  // namespace xatpg::perf

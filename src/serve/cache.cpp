@@ -1,0 +1,59 @@
+#include "serve/cache.hpp"
+
+namespace xatpg::serve {
+
+bool ResultCache::lookup(const std::string& key, std::string& payload_out) {
+  MutexLock lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  // Refresh recency: splice the entry to the MRU front (iterators stay
+  // valid, so the index needs no update).
+  order_.splice(order_.begin(), order_, it->second);
+  payload_out = it->second->payload;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, const std::string& payload) {
+  if (key.size() + payload.size() > capacity_) return;
+  MutexLock lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Same key resubmitted (two clients racing the same cold circuit): the
+    // engine is deterministic, so the payloads match; just refresh recency.
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(Entry{key, payload});
+  index_.emplace(key, order_.begin());
+  bytes_ += entry_bytes(order_.front());
+  ++insertions_;
+  evict_to_cap();
+}
+
+void ResultCache::evict_to_cap() {
+  while (bytes_ > capacity_) {
+    const Entry& victim = order_.back();
+    bytes_ -= entry_bytes(victim);
+    index_.erase(victim.key);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  MutexLock lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = index_.size();
+  s.bytes = bytes_;
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace xatpg::serve

@@ -1,0 +1,86 @@
+// Cross-request result cache of the serve subsystem: completed result
+// payloads keyed by serve::cache_key (canonical circuit bytes + options
+// fingerprint + fault universe), so a repeat request for a popular circuit
+// is answered in ~zero engine time without re-synthesis or re-search.
+//
+// Byte-capped LRU: the cap bounds the sum of key + payload bytes, entries
+// are evicted least-recently-USED first (a hit refreshes recency), and a
+// payload larger than the whole cap is simply not admitted.  Thread-safe;
+// every query/insert is a single short critical section, so connection
+// threads can probe the cache at admission time without serializing behind
+// running jobs.
+//
+// Only payloads from *successful, uncancelled* runs may be inserted — a
+// cancelled run's payload reflects a truncated fault universe and would be
+// wrong to replay for the next client.  The server enforces this at the
+// call site; the cache itself stores what it is given.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace xatpg::serve {
+
+/// Monotonic counters describing cache behaviour since construction, plus a
+/// snapshot of current occupancy.  Exposed verbatim in the daemon's stats
+/// frames so tests (and operators) can observe hits without timing.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;   ///< current entry count
+  std::size_t bytes = 0;     ///< current key+payload bytes
+  std::size_t capacity = 0;  ///< configured byte cap
+};
+
+class ResultCache {
+ public:
+  /// `capacity_bytes` caps the total key + payload bytes held (0 disables
+  /// caching entirely: every lookup is a miss, every insert a no-op).
+  explicit ResultCache(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Look up a payload; copies it into `payload_out` and refreshes the
+  /// entry's recency on hit.  Counts a hit or miss either way.
+  [[nodiscard]] bool lookup(const std::string& key, std::string& payload_out);
+
+  /// Insert (or overwrite) an entry, then evict least-recently-used entries
+  /// until the byte cap holds again.  Oversized payloads (> capacity) are
+  /// rejected without disturbing existing entries.
+  void insert(const std::string& key, const std::string& payload);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+
+  [[nodiscard]] static std::size_t entry_bytes(const Entry& e) {
+    return e.key.size() + e.payload.size();
+  }
+
+  /// Evict from the LRU tail until bytes_ <= capacity_.
+  void evict_to_cap() XATPG_REQUIRES(mu_);
+
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  /// MRU at front, LRU at back; the map holds iterators into the list.
+  std::list<Entry> order_ XATPG_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      XATPG_GUARDED_BY(mu_);
+  std::size_t bytes_ XATPG_GUARDED_BY(mu_) = 0;
+  std::size_t hits_ XATPG_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ XATPG_GUARDED_BY(mu_) = 0;
+  std::size_t insertions_ XATPG_GUARDED_BY(mu_) = 0;
+  std::size_t evictions_ XATPG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace xatpg::serve

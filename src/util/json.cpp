@@ -1,0 +1,249 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace xatpg::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    const Value value = parse_value();
+    skip_ws();
+    XATPG_CHECK_MSG(pos_ == text_.size(),
+                    "JSON: trailing content at offset " << pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    XATPG_CHECK_MSG(peek() == c, "JSON: expected '" << c << "' at offset "
+                                                    << pos_ << ", got '"
+                                                    << text_[pos_] << "'");
+    ++pos_;
+  }
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Value value;
+      value.type = Value::Type::String;
+      value.string = parse_string();
+      return value;
+    }
+    Value value;
+    if (consume_literal("true")) {
+      value.type = Value::Type::Bool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.type = Value::Type::Bool;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Value value;
+    value.type = Value::Type::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      XATPG_CHECK_MSG(peek() == '"',
+                      "JSON: expected object key at offset " << pos_);
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  Value parse_array() {
+    Value value;
+    value.type = Value::Type::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      XATPG_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          XATPG_CHECK_MSG(pos_ + 4 <= text_.size(),
+                          "JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else XATPG_CHECK_MSG(false, "JSON: bad \\u escape digit");
+          }
+          // Our producers only ever escape control characters; anything else
+          // is passed through as a single byte (sufficient in-tree).
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default:
+          XATPG_CHECK_MSG(false, "JSON: unknown escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    XATPG_CHECK_MSG(pos_ > start, "JSON: expected a value at offset " << start);
+    Value value;
+    value.type = Value::Type::Number;
+    try {
+      value.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      XATPG_CHECK_MSG(false, "JSON: malformed number at offset " << start);
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse(); }
+
+double num_field(const Value& object, const char* key, double fallback) {
+  const Value* value = object.find(key);
+  if (value == nullptr) return fallback;
+  XATPG_CHECK_MSG(value->type == Value::Type::Number,
+                  "JSON: field '" << key << "' is not a number");
+  return value->number;
+}
+
+std::size_t size_field(const Value& object, const char* key) {
+  const double value = num_field(object, key, 0);
+  XATPG_CHECK_MSG(value >= 0, "JSON: field '" << key << "' is negative");
+  return static_cast<std::size_t>(value);
+}
+
+std::string string_field(const Value& object, const char* key) {
+  const Value* value = object.find(key);
+  if (value == nullptr) return {};
+  XATPG_CHECK_MSG(value->type == Value::Type::String,
+                  "JSON: field '" << key << "' is not a string");
+  return value->string;
+}
+
+bool bool_field(const Value& object, const char* key, bool fallback) {
+  const Value* value = object.find(key);
+  if (value == nullptr) return fallback;
+  XATPG_CHECK_MSG(value->type == Value::Type::Bool,
+                  "JSON: field '" << key << "' is not a boolean");
+  return value->boolean;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  // %.17g is max_digits10 for IEEE-754 double: enough digits that parsing
+  // the token reproduces the exact bit pattern (operator<<'s default 6
+  // significant digits silently truncated on round-trip).
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace xatpg::json

@@ -115,6 +115,55 @@ TEST(PerfJson, RoundTripPreservesEveryGatedField) {
   }
 }
 
+TEST(PerfJson, ServeSectionRoundTripsAndDefaultsWhenAbsent) {
+  BenchRecord record;
+  record.host = "ci";
+  record.serve.requests = 120;
+  record.serve.circuits = 24;
+  record.serve.workers = 2;
+  record.serve.cold_rps = 3.25;
+  record.serve.cold_p50_ms = 10.5;
+  record.serve.cold_p99_ms = 3200.75;
+  record.serve.cached_rps = 12000.5;
+  record.serve.cached_p50_ms = 0.078;
+  record.serve.cached_p99_ms = 0.141;
+  const BenchRecord parsed = parse_record(to_json(record));
+  EXPECT_EQ(parsed.serve.requests, record.serve.requests);
+  EXPECT_EQ(parsed.serve.circuits, record.serve.circuits);
+  EXPECT_EQ(parsed.serve.workers, record.serve.workers);
+  EXPECT_NEAR(parsed.serve.cold_rps, record.serve.cold_rps, 1e-9);
+  EXPECT_NEAR(parsed.serve.cold_p50_ms, record.serve.cold_p50_ms, 1e-9);
+  EXPECT_NEAR(parsed.serve.cold_p99_ms, record.serve.cold_p99_ms, 1e-9);
+  EXPECT_NEAR(parsed.serve.cached_rps, record.serve.cached_rps, 1e-9);
+  EXPECT_NEAR(parsed.serve.cached_p50_ms, record.serve.cached_p50_ms, 1e-9);
+  EXPECT_NEAR(parsed.serve.cached_p99_ms, record.serve.cached_p99_ms, 1e-9);
+
+  // A record without a serve bench emits no "serve" key at all, and
+  // pre-schema-4 records parse with the section defaulted to absent.
+  BenchRecord plain;
+  plain.host = "ci";
+  EXPECT_EQ(to_json(plain).find("\"serve\""), std::string::npos);
+  EXPECT_EQ(parse_record(to_json(plain)).serve.requests, 0u);
+}
+
+TEST(PerfRun, ServeBenchMeasuresColdThenCachedThroughTheDaemon) {
+  // One tiny circuit, one repeat pass: 2 requests end to end through a real
+  // in-process daemon.  run_serve_bench itself throws CheckError if the
+  // cold request hits the cache or the repeat request misses it.
+  const std::vector<CorpusEntry> corpus{entry_by_id("bench/c17")};
+  const ServeRecord serve =
+      run_serve_bench(corpus, AtpgOptions{}, /*cached_repeats=*/1);
+  EXPECT_EQ(serve.requests, 2u);
+  EXPECT_EQ(serve.circuits, 1u);
+  EXPECT_GT(serve.cold_p50_ms, 0.0);
+  EXPECT_GT(serve.cached_p50_ms, 0.0);
+  EXPECT_GT(serve.cold_rps, 0.0);
+  EXPECT_GT(serve.cached_rps, 0.0);
+  // The cache hit does no engine work; even on a noisy host it must be far
+  // faster than the cold run that built the result.
+  EXPECT_LT(serve.cached_p50_ms, serve.cold_p50_ms);
+}
+
 TEST(PerfJson, MalformedRecordsThrowLoudly) {
   EXPECT_THROW(parse_record(""), CheckError);
   EXPECT_THROW(parse_record("[]"), CheckError);

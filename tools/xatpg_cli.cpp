@@ -15,26 +15,49 @@
 //                [--filter SUBSTR] [--host TAG] [--json] [--out FILE]
 //   xatpg bench-compare BASELINE.json CURRENT.json
 //                [--max-regress PCT] [--min-cpu-ms MS]
+//   xatpg serve  (--pipe | --socket PATH) [--serve-workers N]
+//                [--queue-capacity N] [--cache-bytes N]
+//                [--max-job-seconds N] [run option flags as defaults]
+//   xatpg client (--pipe | --socket PATH) --circuit ... [--repeat N]
+//                [--progress] [--shutdown op|sigterm] [run option flags]
 //
 // `run --json` emits the paper's table columns (tot/cov per universe,
 // rnd/3-ph/sim, BDD node accounting, CPU time) as a single JSON object.
 // `bench --json` emits the versioned perf record (see src/perf/perf.hpp);
 // `bench-compare` diffs two records and exits 1 on any regression — the CI
 // perf gate is exactly this command against bench/baseline.json.
-// Typed errors (xatpg::Error) print to stderr and exit 1; usage errors
-// exit 2.
+// `serve` runs the long-lived ATPG daemon (src/serve, docs/PROTOCOL.md);
+// `client` drives one — in --pipe mode it forks its own binary as the
+// daemon — echoing every received frame to stdout (the CI smoke validates
+// them) and propagating the daemon's exit status.
+//
+// Exit-code contract: every typed failure (xatpg::Error, any taxonomy code)
+// prints ONE protocol error frame — {"v":1,"type":"error","error":{"code":
+// ...,"message":...}} — to stderr and exits 1, so scripts can parse failure
+// categories without scraping prose.  Usage errors exit 2.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "perf/perf.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "xatpg/xatpg.hpp"
 
 namespace {
@@ -52,6 +75,11 @@ int usage(const char* argv0) {
       << "  bench   run the perf corpus; --json emits the versioned record\n"
       << "  bench-compare BASELINE CURRENT   diff two records; exit 1 on\n"
       << "          coverage drop or node/CPU regression (the CI perf gate)\n"
+      << "  serve   long-lived ATPG daemon (NDJSON protocol, see\n"
+      << "          docs/PROTOCOL.md); --pipe serves stdin/stdout,\n"
+      << "          --socket PATH serves an AF_UNIX socket\n"
+      << "  client  drive a daemon (forks one in --pipe mode), echoing\n"
+      << "          every received frame to stdout\n"
       << "\n"
       << "flags:\n"
       << "  --circuit X        benchmark name (chu150, ebergen, fig1a, ...)\n"
@@ -73,12 +101,24 @@ int usage(const char* argv0) {
       << "  --dot              cssg: graphviz dump instead of statistics\n"
       << "  --out FILE         write output to FILE instead of stdout\n"
       << "  --filter SUBSTR    bench: only corpus ids containing SUBSTR\n"
+      << "  --serve            bench: measure the serve daemon over the\n"
+      << "                     corpus (req/s, p50/p99 cold vs cached)\n"
       << "  --host TAG         bench: host tag stored in the record (CPU\n"
       << "                     gates only fire between equal tags; default\n"
       << "                     $XATPG_BENCH_HOST)\n"
       << "  --max-regress PCT  bench-compare: node/CPU bound (default 25)\n"
       << "  --min-cpu-ms MS    bench-compare: per-circuit CPU gate floor\n"
-      << "                     (default 25)\n";
+      << "                     (default 25)\n"
+      << "  --pipe             serve/client: daemon over stdin/stdout\n"
+      << "  --socket PATH      serve/client: daemon over an AF_UNIX socket\n"
+      << "  --serve-workers N  serve: worker pool size (default 1)\n"
+      << "  --queue-capacity N serve: bounded job-queue depth (default 16)\n"
+      << "  --cache-bytes N    serve: result-cache byte cap (default 8MiB)\n"
+      << "  --max-job-seconds N  serve: per-job time budget (0 = unlimited)\n"
+      << "  --repeat N         client: submit the request N times (a repeat\n"
+      << "                     exercises the daemon's result cache)\n"
+      << "  --shutdown W       client: end the daemon via 'op' (a shutdown\n"
+      << "                     request frame, default) or 'sigterm'\n";
   return 2;
 }
 
@@ -91,12 +131,21 @@ struct CliArgs {
   bool dot = false;
   bool progress = false;
   bool threads_sweep = false;          ///< bench: record the scaling curve
+  bool serve_bench = false;            ///< bench: daemon throughput/latency
   std::string out;
   std::string filter;                  ///< bench: corpus id substring
   std::string host;                    ///< bench: record host tag
   double max_regress = 0.25;           ///< bench-compare: node/CPU bound
   double min_cpu_ms = 25.0;            ///< bench-compare: CPU gate floor
   std::vector<std::string> positional; ///< bench-compare: the two records
+  bool pipe = false;                   ///< serve/client: stdin/stdout daemon
+  std::string socket_path;             ///< serve/client: AF_UNIX daemon
+  std::size_t serve_workers = 1;
+  std::size_t queue_capacity = 16;
+  std::size_t cache_bytes = std::size_t{8} << 20;
+  double max_job_seconds = 0;
+  std::size_t repeat = 1;              ///< client: submissions of the request
+  std::string shutdown_mode = "op";    ///< client: "op" | "sigterm"
   AtpgOptions options;
 };
 
@@ -120,7 +169,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
   args.command = argv[1];
   if (args.command != "run" && args.command != "cssg" &&
       args.command != "export" && args.command != "bench" &&
-      args.command != "bench-compare") {
+      args.command != "bench-compare" && args.command != "serve" &&
+      args.command != "client") {
     std::cerr << "unknown command '" << args.command << "'\n";
     return false;
   }
@@ -186,6 +236,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.options.random_budget = static_cast<std::size_t>(*v);
     } else if (flag == "--threads-sweep") {
       args.threads_sweep = true;
+    } else if (flag == "--serve") {
+      args.serve_bench = true;
     } else if (flag == "--reorder") {
       args.options.reorder.enabled = true;
     } else if (flag == "--classify") {
@@ -216,6 +268,40 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       const auto v = count(1u << 30);
       if (!v) return false;
       args.min_cpu_ms = static_cast<double>(*v);
+    } else if (flag == "--pipe") {
+      args.pipe = true;
+    } else if (flag == "--socket") {
+      const auto v = value();
+      if (!v) return false;
+      args.socket_path = *v;
+    } else if (flag == "--serve-workers") {
+      const auto v = count(1024);
+      if (!v) return false;
+      args.serve_workers = static_cast<std::size_t>(*v);
+    } else if (flag == "--queue-capacity") {
+      const auto v = count(1u << 20);
+      if (!v) return false;
+      args.queue_capacity = static_cast<std::size_t>(*v);
+    } else if (flag == "--cache-bytes") {
+      const auto v = count(std::uint64_t{1} << 40);
+      if (!v) return false;
+      args.cache_bytes = static_cast<std::size_t>(*v);
+    } else if (flag == "--max-job-seconds") {
+      const auto v = count(1u << 20);
+      if (!v) return false;
+      args.max_job_seconds = static_cast<double>(*v);
+    } else if (flag == "--repeat") {
+      const auto v = count(1u << 20);
+      if (!v) return false;
+      args.repeat = static_cast<std::size_t>(*v);
+    } else if (flag == "--shutdown") {
+      const auto v = value();
+      if (!v) return false;
+      if (*v != "op" && *v != "sigterm") {
+        std::cerr << "invalid --shutdown '" << *v << "' (want op or sigterm)\n";
+        return false;
+      }
+      args.shutdown_mode = *v;
     } else if (!flag.empty() && flag[0] != '-' &&
                args.command == "bench-compare") {
       args.positional.push_back(flag);
@@ -230,7 +316,30 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
                    "(baseline, current)\n";
       return false;
     }
-  } else if (args.command != "bench" && args.circuit.empty()) {
+  } else if (args.command == "serve" || args.command == "client") {
+    if (args.pipe == !args.socket_path.empty()) {
+      // Exactly one transport: neither or both is a usage error.
+      std::cerr << args.command << " needs exactly one of --pipe or "
+                   "--socket PATH\n";
+      return false;
+    }
+    if (args.command == "client" && args.circuit.empty()) {
+      std::cerr << "--circuit is required\n";
+      return false;
+    }
+    if (args.command == "client" && args.shutdown_mode == "sigterm" &&
+        !args.pipe) {
+      std::cerr << "--shutdown sigterm needs --pipe (the client only owns "
+                   "the daemon process it forked)\n";
+      return false;
+    }
+  } else if (args.command == "bench") {
+    if (args.serve_bench && args.threads_sweep) {
+      std::cerr << "--serve and --threads-sweep are separate recordings; "
+                   "run them as two bench invocations\n";
+      return false;
+    }
+  } else if (args.circuit.empty()) {
     std::cerr << "--circuit is required\n";
     return false;
   }
@@ -301,7 +410,9 @@ void print_universe_text(std::ostream& out, const char* title,
 }
 
 int fail(const Error& error) {
-  std::cerr << "xatpg: " << error.to_string() << "\n";
+  // The exit-code contract (file header): one machine-readable protocol
+  // error frame on stderr, exit 1, for EVERY taxonomy code.
+  std::cerr << serve::error_frame("", error);
   return 1;
 }
 
@@ -421,13 +532,33 @@ int cmd_bench(const CliArgs& args, std::ostream& out) {
     }
   }
   try {
-    const perf::BenchRecord record =
-        args.threads_sweep
-            ? perf::run_sweep(corpus, args.options, args.host, {1, 2, 4, 8},
-                              &std::cerr)
-            : perf::run_corpus(corpus, args.options, args.host, &std::cerr);
+    perf::BenchRecord record;
+    if (args.serve_bench) {
+      // Daemon throughput/latency: the engine numbers for these circuits
+      // are the regular corpus record's job; this record carries only the
+      // serve section (plus host/threads tags for the comparator).
+      record.host = args.host;
+      record.threads = args.options.threads;
+      record.host_cores = std::thread::hardware_concurrency();
+      record.serve = perf::run_serve_bench(corpus, args.options,
+                                           /*cached_repeats=*/4, &std::cerr);
+    } else {
+      record = args.threads_sweep
+                   ? perf::run_sweep(corpus, args.options, args.host,
+                                     {1, 2, 4, 8}, &std::cerr)
+                   : perf::run_corpus(corpus, args.options, args.host,
+                                      &std::cerr);
+    }
     if (args.json) {
       perf::write_json(record, out);
+    } else if (args.serve_bench) {
+      const perf::ServeRecord& s = record.serve;
+      out << "serve: " << s.requests << " requests over " << s.circuits
+          << " circuits (" << s.workers << " worker)\n"
+          << "  cold:   " << s.cold_rps << " req/s, p50 " << s.cold_p50_ms
+          << " ms, p99 " << s.cold_p99_ms << " ms\n"
+          << "  cached: " << s.cached_rps << " req/s, p50 " << s.cached_p50_ms
+          << " ms, p99 " << s.cached_p99_ms << " ms\n";
     } else {
       out << "corpus: " << record.circuits.size() << " circuits, "
           << record.total_covered() << "/" << record.total_faults()
@@ -505,6 +636,223 @@ int cmd_export(Session& session, const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+// --- serve ------------------------------------------------------------------
+
+/// The daemon a signal must reach.  request_shutdown() is async-signal-safe
+/// (atomic store + self-pipe write), so the handler calls it directly.
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_shutdown_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int cmd_serve(const CliArgs& args) {
+  serve::ServeConfig config;
+  config.workers = args.serve_workers;
+  config.queue_capacity = args.queue_capacity;
+  config.cache_bytes = args.cache_bytes;
+  config.max_job_seconds = args.max_job_seconds;
+  config.defaults = args.options;
+  try {
+    serve::Server server(config);
+    g_server = &server;
+    std::signal(SIGINT, handle_shutdown_signal);
+    std::signal(SIGTERM, handle_shutdown_signal);
+    const int code =
+        args.pipe ? server.serve_pipe() : server.serve_unix(args.socket_path);
+    g_server = nullptr;
+    return code;
+  } catch (const CheckError& e) {
+    g_server = nullptr;
+    return fail(Error{ErrorCode::ResourceError, e.what()});
+  }
+}
+
+// --- client -----------------------------------------------------------------
+
+/// Blocking newline-framed reader over a raw fd.
+struct LineReader {
+  int fd;
+  std::string buffer;
+
+  std::optional<std::string> next() {
+    while (true) {
+      const std::size_t nl = buffer.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Compose the submit frame for the CLI's circuit selection, mirroring the
+/// run command's resolution (bench file / xnl file / benchmark name).
+Expected<std::string> make_submit(const CliArgs& args, const std::string& id) {
+  std::ostringstream os;
+  os << "{\"op\":\"submit\",\"id\":\"" << json::escape(id)
+     << "\",\"circuit\":{";
+  if (looks_like_file(args.circuit)) {
+    std::ifstream in(args.circuit);
+    if (!in)
+      return Error{ErrorCode::ResourceError,
+                   "cannot open '" + args.circuit + "' for reading"};
+    std::ostringstream text;
+    text << in.rdbuf();
+    os << "\"format\":\""
+       << (looks_like_bench_file(args.circuit) ? "bench" : "xnl")
+       << "\",\"text\":\"" << json::escape(text.str()) << '"';
+  } else {
+    os << "\"format\":\"benchmark\",\"name\":\"" << json::escape(args.circuit)
+       << '"';
+  }
+  os << ",\"style\":\""
+     << (args.style == SynthStyle::BoundedDelay ? "bd" : "si") << "\"}"
+     << ",\"faults\":\"" << args.faults << "\",\"progress\":"
+     << (args.progress ? "true" : "false")
+     << ",\"options\":{\"threads\":" << args.options.threads
+     << ",\"seed\":" << args.options.seed << ",\"k\":" << args.options.k
+     << ",\"random_budget\":" << args.options.random_budget;
+  if (args.options.reorder.enabled) os << ",\"reorder\":true";
+  if (args.options.classify_undetectable) os << ",\"classify\":true";
+  os << "}}\n";
+  return os.str();
+}
+
+int cmd_client(const CliArgs& args) {
+  int in_fd = -1;   // daemon -> client
+  int out_fd = -1;  // client -> daemon
+  pid_t daemon_pid = -1;
+
+  if (args.pipe) {
+    // Fork our own binary as the daemon: client stdin/stdout stay free for
+    // the user, the daemon's stdin/stdout become the wire.
+    int to_daemon[2];
+    int from_daemon[2];
+    if (::pipe(to_daemon) != 0 || ::pipe(from_daemon) != 0)
+      return fail(Error{ErrorCode::ResourceError, "cannot create pipes"});
+    daemon_pid = ::fork();
+    if (daemon_pid < 0)
+      return fail(Error{ErrorCode::ResourceError, "fork failed"});
+    if (daemon_pid == 0) {
+      ::dup2(to_daemon[0], STDIN_FILENO);
+      ::dup2(from_daemon[1], STDOUT_FILENO);
+      ::close(to_daemon[0]);
+      ::close(to_daemon[1]);
+      ::close(from_daemon[0]);
+      ::close(from_daemon[1]);
+      const std::string workers = std::to_string(args.serve_workers);
+      const std::string capacity = std::to_string(args.queue_capacity);
+      const std::string cache = std::to_string(args.cache_bytes);
+      ::execl("/proc/self/exe", "xatpg", "serve", "--pipe", "--serve-workers",
+              workers.c_str(), "--queue-capacity", capacity.c_str(),
+              "--cache-bytes", cache.c_str(), static_cast<char*>(nullptr));
+      std::perror("xatpg client: exec daemon");
+      std::_Exit(127);
+    }
+    ::close(to_daemon[0]);
+    ::close(from_daemon[1]);
+    out_fd = to_daemon[1];
+    in_fd = from_daemon[0];
+  } else {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (fd < 0 || args.socket_path.size() >= sizeof(addr.sun_path))
+      return fail(Error{ErrorCode::ResourceError, "cannot create socket"});
+    std::strncpy(addr.sun_path, args.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      return fail(Error{ErrorCode::ResourceError,
+                        "cannot connect to '" + args.socket_path + "'"});
+    in_fd = out_fd = fd;
+  }
+
+  LineReader reader{in_fd, {}};
+  bool all_ok = true;
+  // Echo every received frame verbatim: the client's stdout IS the
+  // machine-readable transcript the CI smoke validates.
+  const auto frame_type = [](const std::string& line) -> std::string {
+    try {
+      return json::string_field(json::parse(line), "type");
+    } catch (const CheckError&) {
+      return {};
+    }
+  };
+
+  for (std::size_t i = 1; i <= args.repeat && all_ok; ++i) {
+    const Expected<std::string> submit = make_submit(args, "job-" + std::to_string(i));
+    if (!submit) return fail(submit.error());
+    if (!write_all(out_fd, submit.value()))
+      return fail(Error{ErrorCode::ResourceError, "daemon pipe closed"});
+    while (true) {
+      const std::optional<std::string> line = reader.next();
+      if (!line) {
+        return fail(Error{ErrorCode::ResourceError,
+                          "daemon closed the stream mid-job"});
+      }
+      std::cout << *line << "\n";
+      const std::string type = frame_type(*line);
+      if (type == "error" || type == "cancelled") {
+        all_ok = false;
+        break;
+      }
+      if (type == "result") break;
+    }
+  }
+
+  // One stats frame at the end so cache hit/miss behaviour is visible in
+  // the transcript.
+  if (write_all(out_fd, "{\"op\":\"stats\"}\n")) {
+    for (std::optional<std::string> line = reader.next(); line;
+         line = reader.next()) {
+      std::cout << *line << "\n";
+      if (frame_type(*line) == "stats") break;
+    }
+  }
+
+  if (args.shutdown_mode == "sigterm") {
+    ::kill(daemon_pid, SIGTERM);
+  } else {
+    write_all(out_fd, "{\"op\":\"shutdown\"}\n");
+  }
+  // Drain to EOF (echoing the bye frame), then collect the daemon.
+  for (std::optional<std::string> line = reader.next(); line;
+       line = reader.next())
+    std::cout << *line << "\n";
+  ::close(out_fd);
+  if (in_fd != out_fd) ::close(in_fd);
+
+  if (daemon_pid > 0) {
+    int status = 0;
+    ::waitpid(daemon_pid, &status, 0);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::cerr << "xatpg client: daemon "
+              << (clean ? "exited 0" : "exited abnormally") << "\n";
+    if (!clean) return 1;
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +871,8 @@ int main(int argc, char** argv) {
 
   if (args.command == "bench") return cmd_bench(args, out);
   if (args.command == "bench-compare") return cmd_bench_compare(args, out);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "client") return cmd_client(args);
 
   Expected<Session> session =
       looks_like_bench_file(args.circuit)
