@@ -1,5 +1,6 @@
 // Text-format readers/writers for the native .xnl format and ISCAS-style
 // .bench files.
+#include <cctype>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -41,6 +42,24 @@ Cover parse_cover(const std::string& field, std::size_t arity, int line_no) {
   return cover;
 }
 
+// Parsed names must survive canonicalization: serve caches on the bytes of
+// write_xnl(parse(...)), where whitespace splits tokens, ':' splits .sop/.gc
+// fields and '#' starts a comment.  A name containing any of those would
+// write a netlist that re-parses as a *different* circuit (e.g. the .bench
+// argument list "AND(a b)" used to intern "a b" verbatim), so both parsers
+// reject them here.  Programmatic names (fault injection's "#stuck" etc.)
+// never pass through text and stay unrestricted.
+const std::string& checked_name(const std::string& name, int line_no) {
+  XATPG_CHECK_MSG(!name.empty(), "line " << line_no << ": empty signal name");
+  for (const char c : name)
+    XATPG_CHECK_MSG(
+        std::isgraph(static_cast<unsigned char>(c)) && c != ':' && c != '#',
+        "line " << line_no << ": signal name '" << name << "' contains '" << c
+                << "': names must be printable with no whitespace, ':' or "
+                   "'#'");
+  return name;
+}
+
 std::string cube_to_string(const Cube& cube) {
   std::string s;
   for (const std::int8_t lit : cube.lits)
@@ -79,10 +98,10 @@ Netlist parse_xnl(std::istream& in) {
       netlist.set_name(tokens[1]);
     } else if (keyword == ".inputs") {
       for (std::size_t i = 1; i < tokens.size(); ++i)
-        netlist.add_input(tokens[i]);
+        netlist.add_input(checked_name(tokens[i], line_no));
     } else if (keyword == ".outputs") {
       for (std::size_t i = 1; i < tokens.size(); ++i)
-        netlist.declare_signal(tokens[i]);
+        netlist.declare_signal(checked_name(tokens[i], line_no));
       // Output markings are applied after all declarations (below we mark
       // immediately; declare_signal makes the id available).
       for (std::size_t i = 1; i < tokens.size(); ++i)
@@ -93,8 +112,8 @@ Netlist parse_xnl(std::istream& in) {
       const GateType type = parse_gate_type(tokens[1]);
       std::vector<SignalId> fanins;
       for (std::size_t i = 3; i < tokens.size(); ++i)
-        fanins.push_back(netlist.declare_signal(tokens[i]));
-      netlist.add_gate(type, tokens[2], fanins);
+        fanins.push_back(netlist.declare_signal(checked_name(tokens[i], line_no)));
+      netlist.add_gate(type, checked_name(tokens[2], line_no), fanins);
     } else if (keyword == ".sop" || keyword == ".gc") {
       // .sop out : in1 in2 : cubes      /  .gc out : ins : set : reset
       const auto fields = split(text.substr(keyword.size()), ':');
@@ -107,13 +126,13 @@ Netlist parse_xnl(std::istream& in) {
                       "line " << line_no << ": exactly one output name");
       std::vector<SignalId> fanins;
       for (const std::string& in_name : split_ws(fields[1]))
-        fanins.push_back(netlist.declare_signal(in_name));
+        fanins.push_back(netlist.declare_signal(checked_name(in_name, line_no)));
       if (is_gc) {
-        netlist.add_gc(out_names[0], fanins,
+        netlist.add_gc(checked_name(out_names[0], line_no), fanins,
                        parse_cover(fields[2], fanins.size(), line_no),
                        parse_cover(fields[3], fanins.size(), line_no));
       } else {
-        netlist.add_sop(out_names[0], fanins,
+        netlist.add_sop(checked_name(out_names[0], line_no), fanins,
                         parse_cover(fields[2], fanins.size(), line_no));
       }
     } else if (keyword == ".end") {
@@ -180,7 +199,8 @@ Netlist parse_bench(std::istream& in) {
       const auto close = text.find(')');
       XATPG_CHECK_MSG(close != std::string::npos,
                       "line " << line_no << ": missing ')'");
-      netlist.add_input(std::string(trim(text.substr(6, close - 6))));
+      netlist.add_input(
+          checked_name(std::string(trim(text.substr(6, close - 6))), line_no));
       continue;
     }
     if (starts_with(text, "OUTPUT(")) {
@@ -207,8 +227,10 @@ Netlist parse_bench(std::istream& in) {
     std::vector<SignalId> fanins;
     for (const std::string& arg : split(rhs.substr(open + 1, close - open - 1),
                                         ','))
-      fanins.push_back(netlist.declare_signal(std::string(trim(arg))));
-    netlist.add_gate(parse_gate_type(type_name), out_name, fanins);
+      fanins.push_back(netlist.declare_signal(
+          checked_name(std::string(trim(arg)), line_no)));
+    netlist.add_gate(parse_gate_type(type_name), checked_name(out_name, line_no),
+                     fanins);
   }
   for (const std::string& name : pending_outputs) netlist.set_output(name);
   netlist.check_invariants();

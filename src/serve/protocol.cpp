@@ -27,9 +27,11 @@ std::size_t count_option(const json::Value& options, const char* key,
   if (value == nullptr) return fallback;
   XATPG_CHECK_MSG(value->type == json::Value::Type::Number,
                   "option '" << key << "' is not a number");
-  XATPG_CHECK_MSG(value->number >= 0 &&
-                      value->number == static_cast<double>(
-                                           static_cast<std::size_t>(value->number)),
+  // Bound BEFORE casting: for a hostile magnitude like 1e300 the size_t cast
+  // itself is UB.  2^53 keeps the round-trip comparison below exact.
+  XATPG_CHECK_MSG(value->number >= 0 && value->number <= 9007199254740992.0 &&
+                      value->number == static_cast<double>(static_cast<std::size_t>(
+                                           value->number)),
                   "option '" << key << "' is not a non-negative integer");
   return static_cast<std::size_t>(value->number);
 }

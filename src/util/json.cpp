@@ -48,6 +48,18 @@ class Parser {
   }
 
   Value parse_value() {
+    // Recursion depth is attacker-controlled ("[[[[..."): cap it so hostile
+    // input gets a CheckError at the Expected<T> boundary instead of blowing
+    // the stack.  128 is far beyond any in-tree document (frames nest 3).
+    XATPG_CHECK_MSG(depth_ < kMaxDepth,
+                    "JSON: nesting deeper than " << kMaxDepth << " levels");
+    ++depth_;
+    Value value = parse_value_inner();
+    --depth_;
+    return value;
+  }
+
+  Value parse_value_inner() {
     const char c = peek();
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
@@ -177,8 +189,11 @@ class Parser {
     return value;
   }
 
+  static constexpr int kMaxDepth = 128;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -195,7 +210,11 @@ double num_field(const Value& object, const char* key, double fallback) {
 
 std::size_t size_field(const Value& object, const char* key) {
   const double value = num_field(object, key, 0);
-  XATPG_CHECK_MSG(value >= 0, "JSON: field '" << key << "' is negative");
+  // 2^53 is the largest double that still lands on every integer; past it
+  // the value is lossy as a count, and past 2^64 the size_t cast is UB —
+  // so reject, don't cast, anything outside the exact range.
+  XATPG_CHECK_MSG(value >= 0 && value <= 9007199254740992.0,
+                  "JSON: field '" << key << "' is not a representable count");
   return static_cast<std::size_t>(value);
 }
 

@@ -34,7 +34,8 @@ struct Value {
 };
 
 /// Parse one complete JSON document (trailing content is an error).
-/// Throws CheckError on malformed input.
+/// Throws CheckError on malformed input, including nesting deeper than 128
+/// levels — untrusted bytes must not be able to blow the parser's stack.
 [[nodiscard]] Value parse(const std::string& text);
 
 // --- typed field accessors --------------------------------------------------

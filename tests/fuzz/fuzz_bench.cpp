@@ -1,0 +1,54 @@
+// Fuzz harness for the ISCAS-style .bench parser (docs/FORMATS.md).
+//
+// Same Expected<T> contract as fuzz_xnl: only CheckError/bad_alloc may
+// escape.  Accepted .bench circuits additionally canonicalize through .xnl
+// at serve admission (server.cpp), so the harness asserts that path too:
+// write_xnl of any accepted bench parse must itself re-parse as .xnl and
+// preserve the circuit's line set (see fuzz::sorted_lines).  This is what
+// makes signal names with embedded whitespace — which .bench argument
+// splitting used to accept — a bug the parsers now reject.
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/ternary.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (std::size_t{1} << 16)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data),
+                         reinterpret_cast<const char*>(data) + size);
+  try {
+    const xatpg::Netlist netlist = xatpg::parse_bench_string(text);
+
+    const std::string canonical = xatpg::write_xnl_string(netlist);
+    std::string again;
+    try {
+      again = xatpg::write_xnl_string(xatpg::parse_xnl_string(canonical));
+    } catch (const xatpg::CheckError& e) {
+      xatpg::fuzz::violation(
+          (std::string("accepted .bench circuit failed to canonicalize "
+                       "through .xnl: ") +
+           e.what())
+              .c_str(),
+          data, size);
+    }
+    if (xatpg::fuzz::sorted_lines(again) != xatpg::fuzz::sorted_lines(canonical))
+      xatpg::fuzz::violation(
+          "bench canonicalization changed the circuit's line set", data, size);
+
+    std::vector<bool> state(netlist.num_signals(), false);
+    (void)xatpg::settle_to_stable(netlist, state);
+  } catch (const xatpg::CheckError&) {
+  } catch (const std::bad_alloc&) {
+  } catch (const std::exception& e) {
+    xatpg::fuzz::violation(e.what(), data, size);
+  } catch (...) {
+    xatpg::fuzz::violation("non-std exception escaped parse_bench", data,
+                           size);
+  }
+  return 0;
+}

@@ -1,0 +1,216 @@
+// Shared scaffolding for the xatpg fuzz harnesses (docs/FUZZING.md).
+//
+// Every harness defines the libFuzzer entry point:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and is built in one of two modes by tests/fuzz/CMake wiring:
+//
+//  * XATPG_HAVE_LIBFUZZER — clang's -fsanitize=fuzzer supplies main() and
+//    drives coverage-guided mutation.  This is the exploration mode.
+//  * otherwise — this header supplies a plain-loop main() that replays the
+//    checked-in corpus and then runs a bounded number of deterministic
+//    byte-level mutations of it.  This is the regression mode: it builds
+//    with any C++20 toolchain, so the harnesses run as ordinary ctest
+//    targets (and in CI fuzz-smoke) even where libFuzzer is absent.
+//
+// The fallback driver understands a libFuzzer-compatible subset of flags
+// (-runs=N, -seed=S, -max_len=L; positional args are corpus files or
+// directories), so the same command line works in both modes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace xatpg::fuzz {
+
+/// Renumbering-invariant view of a .xnl text: its lines, sorted.
+///
+/// write_xnl emits gate lines in signal-id order while parse_xnl assigns ids
+/// by first mention (the .outputs line interns names early, and feedback
+/// fanins intern before their defining gate), so write->parse->write may
+/// permute gate lines — with mutual feedback the order can even oscillate
+/// with period 2, so no byte-level fixpoint exists.  Every line fully
+/// describes one gate by signal *names*, though, so the sorted line multiset
+/// is the canonical identity that must survive any number of round trips.
+inline std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Report a contract violation — an input escaped the Expected<T>/CheckError
+/// boundary — dump the offending bytes so the failure is reproducible, and
+/// abort so both drivers (libFuzzer and the plain loop) register a crash.
+[[noreturn]] inline void violation(const char* what, const std::uint8_t* data,
+                                   std::size_t size) {
+  std::fprintf(stderr, "\nFUZZ CONTRACT VIOLATION: %s\ninput (%zu bytes): ",
+               what, size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t c = data[i];
+    if (c >= 0x20 && c < 0x7f && c != '\\')
+      std::fputc(c, stderr);
+    else
+      std::fprintf(stderr, "\\x%02x", c);
+  }
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace xatpg::fuzz
+
+#if !defined(XATPG_HAVE_LIBFUZZER)
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace xatpg::fuzz {
+
+inline std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// One deterministic byte-level edit.  Crude next to libFuzzer's coverage
+/// guidance, but over a structured seed corpus it reliably exercises the
+/// parsers' error paths (which is what the smoke runs are for).
+inline void mutate(std::vector<std::uint8_t>& bytes, Rng& rng,
+                   std::size_t max_len) {
+  // Characters the grammars under test care about: keeps random edits from
+  // collapsing instantly into "unknown directive" on every iteration.
+  static constexpr char kDictionary[] =
+      " \t\n:.,-01#(){}[]\"\\=eE+gxzabc78";
+  switch (rng.below(6)) {
+    case 0: {  // bit flip
+      if (bytes.empty()) break;
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    }
+    case 1: {  // overwrite with a dictionary or random byte
+      if (bytes.empty()) break;
+      bytes[rng.below(bytes.size())] =
+          rng.flip() ? static_cast<std::uint8_t>(
+                           kDictionary[rng.below(sizeof kDictionary - 1)])
+                     : static_cast<std::uint8_t>(rng.below(256));
+      break;
+    }
+    case 2: {  // insert
+      if (bytes.size() >= max_len) break;
+      const auto at = bytes.begin() +
+                      static_cast<std::ptrdiff_t>(rng.below(bytes.size() + 1));
+      bytes.insert(at, static_cast<std::uint8_t>(
+                           kDictionary[rng.below(sizeof kDictionary - 1)]));
+      break;
+    }
+    case 3: {  // erase a short range
+      if (bytes.empty()) break;
+      const std::size_t start = rng.below(bytes.size());
+      const std::size_t len = 1 + rng.below(8);
+      bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(start),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(bytes.size(), start + len)));
+      break;
+    }
+    case 4: {  // duplicate a short range (repeats directives/fields)
+      if (bytes.empty() || bytes.size() >= max_len) break;
+      const std::size_t start = rng.below(bytes.size());
+      const std::size_t len =
+          std::min({std::size_t{1} + rng.below(16), bytes.size() - start,
+                    max_len - bytes.size()});
+      std::vector<std::uint8_t> chunk(
+          bytes.begin() + static_cast<std::ptrdiff_t>(start),
+          bytes.begin() + static_cast<std::ptrdiff_t>(start + len));
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(start),
+                   chunk.begin(), chunk.end());
+      break;
+    }
+    default: {  // truncate
+      if (bytes.empty()) break;
+      bytes.resize(rng.below(bytes.size()));
+      break;
+    }
+  }
+}
+
+inline int fallback_main(int argc, char** argv) {
+  std::size_t runs = 10000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::vector<std::vector<std::uint8_t>> corpus;
+  std::size_t corpus_files = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = static_cast<std::size_t>(std::strtoull(arg.c_str() + 6, nullptr, 10));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("-", 0) == 0) {
+      // Unknown libFuzzer flag: ignore, so command lines written for the
+      // libFuzzer build run unchanged against the fallback driver.
+      continue;
+    } else {
+      std::error_code ec;
+      if (std::filesystem::is_directory(arg, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+          if (!entry.is_regular_file()) continue;
+          corpus.push_back(read_file(entry.path()));
+          ++corpus_files;
+        }
+      } else {
+        corpus.push_back(read_file(arg));
+        ++corpus_files;
+      }
+    }
+  }
+
+  // Replay every corpus entry verbatim first: checked-in crashers are
+  // regression inputs and must pass before any mutation runs.
+  for (const auto& entry : corpus)
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < runs; ++i) {
+    std::vector<std::uint8_t> input;
+    if (!corpus.empty()) input = corpus[rng.below(corpus.size())];
+    if (input.size() > max_len) input.resize(max_len);
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) mutate(input, rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::printf("fallback fuzz driver: %zu corpus inputs + %zu mutations, OK\n",
+              corpus_files, runs);
+  return 0;
+}
+
+}  // namespace xatpg::fuzz
+
+int main(int argc, char** argv) {
+  return xatpg::fuzz::fallback_main(argc, argv);
+}
+
+#endif  // !XATPG_HAVE_LIBFUZZER

@@ -1,0 +1,74 @@
+// Fuzz harness for src/util/json.hpp — the JSON model shared by the perf
+// record reader and the serve protocol.
+//
+// Contract: parse() either returns a document or throws exactly CheckError
+// (malformed syntax, nesting past the depth cap); the typed accessors throw
+// exactly CheckError on wrong-typed or out-of-range fields (the
+// double->size_t paths are where UB used to hide).  Nothing else may escape,
+// and deeply nested input must not blow the stack.
+#include <exception>
+#include <string>
+
+#include "fuzz_common.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+/// Run every typed accessor over every key of an object, recursing into
+/// nested objects/arrays: wrong-typed CheckErrors are the accessors'
+/// documented behaviour, anything else is a violation caught by the caller.
+void exercise_accessors(const xatpg::json::Value& value, int depth) {
+  if (depth > 8) return;
+  if (value.type == xatpg::json::Value::Type::Object) {
+    for (const auto& [key, field] : value.object) {
+      try {
+        (void)xatpg::json::num_field(value, key.c_str(), 0);
+      } catch (const xatpg::CheckError&) {
+      }
+      try {
+        (void)xatpg::json::size_field(value, key.c_str());
+      } catch (const xatpg::CheckError&) {
+      }
+      try {
+        (void)xatpg::json::string_field(value, key.c_str());
+      } catch (const xatpg::CheckError&) {
+      }
+      try {
+        (void)xatpg::json::bool_field(value, key.c_str(), false);
+      } catch (const xatpg::CheckError&) {
+      }
+      exercise_accessors(field, depth + 1);
+    }
+  }
+  for (const auto& element : value.array)
+    exercise_accessors(element, depth + 1);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (std::size_t{1} << 16)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data),
+                         reinterpret_cast<const char*>(data) + size);
+  try {
+    const xatpg::json::Value root = xatpg::json::parse(text);
+    exercise_accessors(root, 0);
+
+    // Accepted numbers must survive the writer: number() promises a valid
+    // JSON token for any double it is handed, including the non-finite ones.
+    if (root.type == xatpg::json::Value::Type::Number)
+      (void)xatpg::json::parse(xatpg::json::number(root.number));
+    if (root.type == xatpg::json::Value::Type::String)
+      (void)xatpg::json::parse('"' + xatpg::json::escape(root.string) + '"');
+  } catch (const xatpg::CheckError&) {
+  } catch (const std::bad_alloc&) {
+  } catch (const std::exception& e) {
+    xatpg::fuzz::violation(e.what(), data, size);
+  } catch (...) {
+    xatpg::fuzz::violation("non-std exception escaped json::parse", data,
+                           size);
+  }
+  return 0;
+}

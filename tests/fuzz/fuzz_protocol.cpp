@@ -1,0 +1,47 @@
+// Fuzz harness for the serve protocol frame decoder (docs/PROTOCOL.md).
+//
+// parse_request is the daemon's outermost untrusted surface and its contract
+// is stricter than the parsers': it must return Expected<Request> for ANY
+// line — a CheckError escaping it means the reader thread dies and takes the
+// daemon's connection down, so even the "permitted" parser escape is a
+// violation here.  Only bad_alloc (translated by the server's own boundary)
+// may propagate.
+#include <exception>
+#include <string>
+
+#include "fuzz_common.hpp"
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+#include "xatpg/options.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (std::size_t{1} << 16)) return 0;
+  const std::string line(reinterpret_cast<const char*>(data),
+                         reinterpret_cast<const char*>(data) + size);
+  const xatpg::AtpgOptions defaults;
+  try {
+    const xatpg::Expected<xatpg::serve::Request> request =
+        xatpg::serve::parse_request(line, defaults);
+    if (request.has_value()) {
+      // Echo paths the server takes with decoder output: the id lands in
+      // frames and the options land in the cache key.  Both must be total.
+      (void)xatpg::serve::ack_frame(request.value().id, 0);
+      (void)xatpg::serve::error_frame(
+          request.value().id,
+          xatpg::Error{xatpg::ErrorCode::OptionError, "fuzz"});
+      (void)xatpg::serve::options_fingerprint(request.value().options);
+    }
+  } catch (const std::bad_alloc&) {
+  } catch (const xatpg::CheckError& e) {
+    xatpg::fuzz::violation(
+        (std::string("CheckError escaped parse_request: ") + e.what()).c_str(),
+        data, size);
+  } catch (const std::exception& e) {
+    xatpg::fuzz::violation(e.what(), data, size);
+  } catch (...) {
+    xatpg::fuzz::violation("non-std exception escaped parse_request", data,
+                           size);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fuzz harness for the .xnl parser (docs/FORMATS.md).
+//
+// Contract under test (the Expected<T> boundary, include/xatpg/error.hpp):
+// for ANY byte string, parse_xnl_string either returns a valid netlist or
+// throws exactly CheckError (which Session translates to a typed ParseError)
+// — never another exception type, never a crash, leak or hang.  Accepted
+// input additionally owes the serve layer a total canonicalization: write_xnl
+// of the parse must re-parse, and re-writing that must describe the same
+// circuit line-for-line modulo gate-line order (the cache key is built from
+// the canonical bytes; see fuzz::sorted_lines for why byte equality is the
+// wrong ask).
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/ternary.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (std::size_t{1} << 16)) return 0;  // bound per-input work
+  const std::string text(reinterpret_cast<const char*>(data),
+                         reinterpret_cast<const char*>(data) + size);
+  try {
+    const xatpg::Netlist netlist = xatpg::parse_xnl_string(text);
+
+    const std::string canonical = xatpg::write_xnl_string(netlist);
+    std::string again;
+    try {
+      again = xatpg::write_xnl_string(xatpg::parse_xnl_string(canonical));
+    } catch (const xatpg::CheckError& e) {
+      xatpg::fuzz::violation(
+          (std::string("accepted netlist failed to re-parse its own "
+                       "canonical form: ") +
+           e.what())
+              .c_str(),
+          data, size);
+    }
+    if (xatpg::fuzz::sorted_lines(again) != xatpg::fuzz::sorted_lines(canonical))
+      xatpg::fuzz::violation(
+          "write->parse->write changed the circuit's line set", data, size);
+
+    // Settling must terminate on arbitrary accepted circuits (it is allowed
+    // to report failure — not every valid structure is confluent).
+    std::vector<bool> state(netlist.num_signals(), false);
+    (void)xatpg::settle_to_stable(netlist, state);
+  } catch (const xatpg::CheckError&) {
+    // The one permitted escape: Session turns this into Error{ParseError}.
+  } catch (const std::bad_alloc&) {
+    // Permitted: Session turns this into Error{ResourceError}.
+  } catch (const std::exception& e) {
+    xatpg::fuzz::violation(e.what(), data, size);
+  } catch (...) {
+    xatpg::fuzz::violation("non-std exception escaped parse_xnl", data, size);
+  }
+  return 0;
+}

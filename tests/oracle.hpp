@@ -1,0 +1,148 @@
+// Brute-force CSSG oracle, shared by the randomized differential suite
+// (tests/test_differential.cpp) and the structural netlist fuzzer
+// (tests/fuzz/fuzz_structural.cpp).
+//
+// The oracle re-derives the complete-state-signal graph by explicit search:
+// BFS from reset over all input patterns, keeping only confluent settlings
+// (exactly one stable outcome, every trajectory done within the bound) —
+// the definition of a valid synchronous test vector.  The symbolic CSSG's
+// state and edge sets must match it exactly; cssg_oracle_mismatch() reports
+// the first divergence as text so non-gtest consumers (the fuzzer harness)
+// can use the same check.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sgraph/cssg.hpp"
+#include "sim/explicit.hpp"
+
+namespace xatpg::testing {
+
+struct OracleCssg {
+  std::set<std::vector<bool>> states;
+  // (from state, input pattern, to state)
+  std::set<std::tuple<std::vector<bool>, std::vector<bool>, std::vector<bool>>>
+      edges;
+};
+
+/// Brute-force CSSG from `reset` with settlement bound `k`.  Cost is
+/// O(states x 2^inputs x settlement interleavings) — callers keep circuits
+/// small (<= ~4 inputs, ~12 signals).
+inline OracleCssg oracle_cssg(const Netlist& netlist,
+                              const std::vector<bool>& reset, std::size_t k) {
+  OracleCssg oracle;
+  const auto& inputs = netlist.inputs();
+  oracle.states.insert(reset);
+  std::vector<std::vector<bool>> worklist{reset};
+  while (!worklist.empty()) {
+    const std::vector<bool> state = worklist.back();
+    worklist.pop_back();
+    for (std::uint64_t bits = 0; bits < (1ull << inputs.size()); ++bits) {
+      std::vector<bool> pattern(inputs.size());
+      bool same = true;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        pattern[i] = (bits >> i) & 1;
+        same = same && (pattern[i] == state[inputs[i]]);
+      }
+      if (same) continue;  // R_I: at least one input must flip
+      const ExploreResult explored =
+          explore_settling(netlist, state, pattern, k);
+      if (!explored.confluent()) continue;
+      const std::vector<bool>& succ = *explored.stable_states.begin();
+      oracle.edges.insert({state, pattern, succ});
+      if (oracle.states.insert(succ).second) worklist.push_back(succ);
+    }
+  }
+  return oracle;
+}
+
+namespace oracle_detail {
+
+inline std::string bits(const std::vector<bool>& v) {
+  std::string s;
+  for (const bool b : v) s += b ? '1' : '0';
+  return s;
+}
+
+template <typename Set>
+std::string first_difference(const Set& got, const Set& want,
+                             std::string (*print)(
+                                 const typename Set::value_type&)) {
+  for (const auto& x : got)
+    if (!want.count(x)) return "unexpected " + print(x);
+  for (const auto& x : want)
+    if (!got.count(x)) return "missing " + print(x);
+  return {};
+}
+
+}  // namespace oracle_detail
+
+/// Build the symbolic CSSG under `options` and diff it against the oracle;
+/// the symbolic stable-reachable set is additionally checked against the
+/// explicit enumerator (it must cover the oracle BFS and may contain stable
+/// states only reachable through racing vectors).  Returns "" on a perfect
+/// match, else a one-line description of the first divergence.
+inline std::string cssg_oracle_mismatch(const Netlist& netlist,
+                                        const std::vector<bool>& reset,
+                                        const OracleCssg& oracle,
+                                        const CssgOptions& options) {
+  const Cssg cssg(netlist, {reset}, options);
+  const ExplicitCssg graph = cssg.extract_explicit();
+
+  std::set<std::vector<bool>> states(graph.states.begin(), graph.states.end());
+  if (states.size() != graph.states.size())
+    return "symbolic CSSG lists a state under two ids";
+  if (states != oracle.states) {
+    std::ostringstream os;
+    os << "state sets differ (symbolic " << states.size() << ", oracle "
+       << oracle.states.size() << "): "
+       << oracle_detail::first_difference<std::set<std::vector<bool>>>(
+              states, oracle.states,
+              +[](const std::vector<bool>& s) { return oracle_detail::bits(s); });
+    return os.str();
+  }
+
+  using Edge =
+      std::tuple<std::vector<bool>, std::vector<bool>, std::vector<bool>>;
+  std::set<Edge> edges;
+  for (std::uint32_t id = 0; id < graph.states.size(); ++id)
+    for (const auto& edge : graph.edges[id])
+      edges.insert({graph.states[id], edge.pattern, graph.states[edge.to]});
+  if (edges != oracle.edges) {
+    std::ostringstream os;
+    os << "edge sets differ (symbolic " << edges.size() << ", oracle "
+       << oracle.edges.size() << "): "
+       << oracle_detail::first_difference<std::set<Edge>>(
+              edges, oracle.edges, +[](const Edge& e) {
+                return oracle_detail::bits(std::get<0>(e)) + " --" +
+                       oracle_detail::bits(std::get<1>(e)) + "--> " +
+                       oracle_detail::bits(std::get<2>(e));
+              });
+    return os.str();
+  }
+
+  const std::set<std::vector<bool>> stable_explicit =
+      explicit_stable_reachable(netlist, reset, options.k);
+  const auto stable_symbolic_list =
+      cssg.encoding().all_states_cur(cssg.stable_reachable());
+  const std::set<std::vector<bool>> stable_symbolic(
+      stable_symbolic_list.begin(), stable_symbolic_list.end());
+  if (stable_symbolic != stable_explicit) {
+    std::ostringstream os;
+    os << "stable-reachable sets differ (symbolic " << stable_symbolic.size()
+       << ", explicit " << stable_explicit.size() << "): "
+       << oracle_detail::first_difference<std::set<std::vector<bool>>>(
+              stable_symbolic, stable_explicit,
+              +[](const std::vector<bool>& s) { return oracle_detail::bits(s); });
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace xatpg::testing

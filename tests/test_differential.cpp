@@ -16,17 +16,18 @@
 //     be invisible.
 #include <gtest/gtest.h>
 
-#include <set>
-#include <tuple>
-
 #include "atpg/engine.hpp"
 #include "atpg/fault.hpp"
 #include "fixtures.hpp"
+#include "oracle.hpp"
 #include "sgraph/cssg.hpp"
-#include "sim/explicit.hpp"
 
 namespace xatpg {
 namespace {
+
+using testing::OracleCssg;
+using testing::cssg_oracle_mismatch;
+using testing::oracle_cssg;
 
 constexpr std::size_t kSettle = 20;
 
@@ -46,44 +47,8 @@ const std::vector<VarOrder>& all_orders() {
 }
 
 // --- CSSG vs the explicit enumerator ------------------------------------------
-
-struct OracleCssg {
-  std::set<std::vector<bool>> states;
-  // (from state, input pattern, to state)
-  std::set<std::tuple<std::vector<bool>, std::vector<bool>, std::vector<bool>>>
-      edges;
-};
-
-/// Brute-force CSSG: BFS from reset over all input patterns, keeping only
-/// confluent settlings (exactly one stable outcome, every trajectory done
-/// within the bound) — the definition of a valid synchronous test vector.
-OracleCssg oracle_cssg(const Netlist& netlist, const std::vector<bool>& reset,
-                       std::size_t k) {
-  OracleCssg oracle;
-  const auto& inputs = netlist.inputs();
-  oracle.states.insert(reset);
-  std::vector<std::vector<bool>> worklist{reset};
-  while (!worklist.empty()) {
-    const std::vector<bool> state = worklist.back();
-    worklist.pop_back();
-    for (std::uint64_t bits = 0; bits < (1ull << inputs.size()); ++bits) {
-      std::vector<bool> pattern(inputs.size());
-      bool same = true;
-      for (std::size_t i = 0; i < inputs.size(); ++i) {
-        pattern[i] = (bits >> i) & 1;
-        same = same && (pattern[i] == state[inputs[i]]);
-      }
-      if (same) continue;  // R_I: at least one input must flip
-      const ExploreResult explored =
-          explore_settling(netlist, state, pattern, k);
-      if (!explored.confluent()) continue;
-      const std::vector<bool>& succ = *explored.stable_states.begin();
-      oracle.edges.insert({state, pattern, succ});
-      if (oracle.states.insert(succ).second) worklist.push_back(succ);
-    }
-  }
-  return oracle;
-}
+// The oracle itself (OracleCssg, oracle_cssg, cssg_oracle_mismatch) lives in
+// tests/oracle.hpp, shared with the structural fuzzer harness.
 
 void expect_cssg_matches_oracle(const Netlist& netlist,
                                 const std::vector<bool>& reset,
@@ -93,29 +58,8 @@ void expect_cssg_matches_oracle(const Netlist& netlist,
   options.k = kSettle;
   options.order = order;
   options.reorder = test_reorder_policy();
-  const Cssg cssg(netlist, {reset}, options);
-  const ExplicitCssg graph = cssg.extract_explicit();
-
-  std::set<std::vector<bool>> states(graph.states.begin(), graph.states.end());
-  EXPECT_EQ(states, oracle.states);
-  EXPECT_EQ(states.size(), graph.states.size());  // ids are distinct states
-
-  std::set<std::tuple<std::vector<bool>, std::vector<bool>, std::vector<bool>>>
-      edges;
-  for (std::uint32_t id = 0; id < graph.states.size(); ++id)
-    for (const auto& edge : graph.edges[id])
-      edges.insert({graph.states[id], edge.pattern, graph.states[edge.to]});
-  EXPECT_EQ(edges, oracle.edges);
-
-  // The symbolic stable-reachable set must cover the oracle BFS (it also
-  // contains stable states only reachable through racing vectors).
-  const auto stable_explicit =
-      explicit_stable_reachable(netlist, reset, kSettle);
-  const auto stable_symbolic =
-      cssg.encoding().all_states_cur(cssg.stable_reachable());
-  EXPECT_EQ(std::set<std::vector<bool>>(stable_symbolic.begin(),
-                                        stable_symbolic.end()),
-            stable_explicit);
+  EXPECT_EQ(std::string(),
+            cssg_oracle_mismatch(netlist, reset, oracle, options));
 }
 
 class CssgDifferential

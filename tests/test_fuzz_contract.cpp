@@ -1,0 +1,194 @@
+// Tier-1 contracts of the fuzzing subsystem (docs/FUZZING.md), runnable
+// without any fuzzer: the structure-aware mutator only produces valid
+// round-trippable circuits, and the known-bad corpus slices — including
+// every checked-in crasher — are rejected at the public boundaries with a
+// typed Error (no throw, no abort).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/random_netlist.hpp"
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "xatpg/session.hpp"
+
+namespace xatpg {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::filesystem::path corpus_dir() { return XATPG_FUZZ_CORPUS_DIR; }
+
+// Renumbering-invariant identity of a .xnl text (mirrors fuzz::sorted_lines
+// in tests/fuzz/fuzz_common.hpp, which cannot be included here because it
+// supplies main() in fallback mode): parse_xnl assigns ids by first mention,
+// so re-parsing may permute gate lines, but each line fully describes one
+// gate by signal names.
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// --- the mutator's validity + round-trip contract ---------------------------
+
+TEST(StructuralMutator, MutantsRoundTripThroughXnl) {
+  std::set<NetlistMutation> kinds_seen;
+  std::size_t mutants = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed);
+    std::vector<bool> reset;
+    RandomNetlistOptions generate;
+    generate.num_gates = 5 + seed % 4;
+    Netlist current;
+    try {
+      current = random_netlist(seed, generate, &reset);
+    } catch (const CheckError&) {
+      continue;  // generator refused the seed (non-confluent from all-false)
+    }
+    for (int round = 0; round < 3; ++round) {
+      std::optional<MutatedNetlist> mutant = mutate_netlist(current, rng);
+      if (!mutant) break;
+      const NetlistMutation kind = mutant->mutation;
+      kinds_seen.insert(kind);
+      ++mutants;
+      current = std::move(mutant->netlist);
+      reset = std::move(mutant->reset);
+      SCOPED_TRACE("seed " + std::to_string(seed) + " round " +
+                   std::to_string(round) + " mutation " +
+                   netlist_mutation_name(kind));
+
+      // Valid by construction...
+      ASSERT_NO_THROW(current.check_invariants());
+      // ...with a genuinely stable reset...
+      ASSERT_EQ(reset.size(), current.num_signals());
+      EXPECT_TRUE(current.is_stable_state(reset));
+
+      // ...and canonicalization is total: the canonical text must re-parse
+      // and re-write to the same set of lines (parse may renumber signals,
+      // but every line names its gate's signals in full).
+      const std::string canonical = write_xnl_string(current);
+      Netlist reparsed;
+      ASSERT_NO_THROW(reparsed = parse_xnl_string(canonical)) << canonical;
+      EXPECT_EQ(reparsed.num_signals(), current.num_signals());
+      EXPECT_EQ(reparsed.inputs().size(), current.inputs().size());
+      EXPECT_EQ(sorted_lines(write_xnl_string(reparsed)),
+                sorted_lines(canonical));
+    }
+  }
+  // The walk above must exercise the whole mutation vocabulary, otherwise
+  // the fuzzer's coverage quietly shrank.
+  EXPECT_GE(mutants, 24u);
+  EXPECT_EQ(kinds_seen.size(), 4u)
+      << "some mutation kinds never produced a valid mutant";
+}
+
+// --- known-bad slices stay typed at every boundary ---------------------------
+
+void expect_typed_rejection(const Expected<Session>& result, ErrorCode code,
+                            const std::string& what) {
+  ASSERT_FALSE(result.has_value()) << what << ": accepted";
+  EXPECT_EQ(result.error().code, code)
+      << what << ": " << result.error().to_string();
+  EXPECT_FALSE(result.error().message.empty()) << what;
+}
+
+TEST(KnownBadCorpus, BenchCrashersRejectedTyped) {
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir() / "bench" /
+                                           "crashers")) {
+    const std::string text = read_file(entry.path());
+    expect_typed_rejection(Session::from_bench(text), ErrorCode::ParseError,
+                           entry.path().filename().string());
+  }
+}
+
+TEST(KnownBadCorpus, ProtocolCrashersRejectedTyped) {
+  const AtpgOptions defaults;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           corpus_dir() / "protocol" / "crashers")) {
+    SCOPED_TRACE(entry.path().filename().string());
+    const std::string line = read_file(entry.path());
+    const Expected<serve::Request> request =
+        serve::parse_request(line, defaults);
+    ASSERT_FALSE(request.has_value());
+    EXPECT_TRUE(request.error().code == ErrorCode::ParseError ||
+                request.error().code == ErrorCode::OptionError)
+        << request.error().to_string();
+  }
+}
+
+TEST(KnownBadCorpus, JsonCrashersRejectedTypedThroughProtocol) {
+  // json.hpp is internal; its hostile inputs reach production wrapped in a
+  // request line, so assert the typed rejection at that boundary.  Some
+  // crashers are syntactically valid JSON that used to break the typed
+  // accessors (huge counts), so either ParseError or OptionError is the
+  // correct verdict — what matters is that it IS a typed verdict.
+  const AtpgOptions defaults;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           corpus_dir() / "json" / "crashers")) {
+    SCOPED_TRACE(entry.path().filename().string());
+    const Expected<serve::Request> request =
+        serve::parse_request(read_file(entry.path()), defaults);
+    ASSERT_FALSE(request.has_value());
+    EXPECT_TRUE(request.error().code == ErrorCode::ParseError ||
+                request.error().code == ErrorCode::OptionError)
+        << request.error().to_string();
+  }
+}
+
+TEST(KnownBadCorpus, HandWrittenBadXnlRejectedTyped) {
+  // A slice of the grammar's error taxonomy (docs/FORMATS.md): every entry
+  // must come back as Error{ParseError}, never an exception or abort.
+  const std::vector<std::pair<const char*, const char*>> bad = {
+      {"unknown directive", ".modell x\n"},
+      {"gate arity", ".inputs a\n.gate NOT z a a\n.end\n"},
+      {"undefined signal", ".inputs a\n.outputs z\n.gate NOT z ghost\n.end\n"},
+      {"defined twice", ".inputs a a\n"},
+      {"content after end", ".end\n.inputs a\n"},
+      {"bad cube literal", ".inputs a\n.sop z : a : 2\n.end\n"},
+      {"cube arity", ".inputs a b\n.sop z : a b : 1\n.end\n"},
+      {"unknown gate type", ".inputs a\n.gate FROB z a\n.end\n"},
+      {"colon in name", ".inputs a\n.gate BUF z: a\n.end\n"},
+      {"missing fields", ".gc z : a\n"},
+  };
+  for (const auto& [what, text] : bad)
+    expect_typed_rejection(Session::from_xnl(text), ErrorCode::ParseError,
+                           what);
+}
+
+TEST(KnownBadCorpus, HandWrittenBadBenchRejectedTyped) {
+  const std::vector<std::pair<const char*, const char*>> bad = {
+      {"dff rejected", "INPUT(a)\nq = DFF(a)\n"},
+      {"missing paren", "INPUT(a\n"},
+      {"no assignment", "z NAND a b\n"},
+      {"empty gate type", "INPUT(a)\nz = (a)\n"},
+      {"empty arg name", "INPUT(a)\nz = AND(a,)\n"},
+      {"spaced name", "INPUT(a)\nx y = NOT(a)\nz = NOT(x y)\n"},
+  };
+  for (const auto& [what, text] : bad)
+    expect_typed_rejection(Session::from_bench(text), ErrorCode::ParseError,
+                           what);
+}
+
+}  // namespace
+}  // namespace xatpg

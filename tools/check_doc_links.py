@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's markdown documentation.
+
+Scans README.md and docs/*.md (or the files given on the command line)
+for markdown links `[text](target)` and verifies every *relative* target:
+
+  * the referenced file or directory exists (relative to the containing
+    document), and
+  * if the target carries a `#fragment`, the referenced markdown file has
+    a heading whose GitHub-style anchor slug matches.
+
+External targets (http://, https://, mailto:) are out of scope — CI must
+not flake on the network.  Exit 0 when every link resolves, 1 otherwise,
+printing one `file:line: message` per dead link.  Runs as the
+`lint_doc_links` ctest entry and in the CI lint job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        text = match.group(1).strip()
+        # Strip markdown emphasis/code/link syntax before slugging.
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+        text = re.sub(r"[`*_]", "", text)
+        slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(doc: Path, repo_root: Path) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if not path_part:  # intra-document "#section"
+                dest = doc
+            else:
+                dest = (doc.parent / path_part).resolve()
+                try:
+                    dest.relative_to(repo_root)
+                except ValueError:
+                    errors.append(
+                        f"{doc}:{lineno}: link '{target}' escapes the repo"
+                    )
+                    continue
+                if not dest.exists():
+                    errors.append(
+                        f"{doc}:{lineno}: dead link '{target}' "
+                        f"(no such file: {dest})"
+                    )
+                    continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                    errors.append(
+                        f"{doc}:{lineno}: link '{target}' has an anchor but "
+                        f"'{dest.name}' is not a markdown file"
+                    )
+                elif fragment.lower() not in heading_anchors(dest):
+                    errors.append(
+                        f"{doc}:{lineno}: dead anchor '#{fragment}' "
+                        f"(no matching heading in {dest.name})"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        docs = [Path(a).resolve() for a in argv[1:]]
+    else:
+        docs = sorted(
+            [repo_root / "README.md", *(repo_root / "docs").glob("*.md")]
+        )
+    errors: list[str] = []
+    for doc in docs:
+        if not doc.exists():
+            errors.append(f"{doc}: no such file")
+            continue
+        errors.extend(check_file(doc, repo_root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(
+        f"check_doc_links: {len(docs)} files, "
+        f"{'FAIL (' + str(len(errors)) + ' dead links)' if errors else 'OK'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
